@@ -1,0 +1,17 @@
+"""E10 — substrate validation: classic LOCAL baselines.
+
+Validates the message-passing simulator on genuinely distributed algorithms:
+Luby's MIS finishes within an O(log n) round envelope and always produces a
+maximal independent set; the proposal matching always produces a maximal
+matching.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import experiment_e10_baselines
+
+
+def test_e10_baselines(benchmark, record_experiment):
+    result = run_once(benchmark, experiment_e10_baselines)
+    record_experiment(result)
+    assert result.matches_paper

@@ -1,0 +1,16 @@
+"""E1 — the amos golden-ratio decider (Section 2.3.1).
+
+Reproduces: amos is randomly decidable in zero rounds with guarantee
+p = (√5 − 1)/2 ≈ 0.618: yes-instances are accepted with probability ≥ p and
+no-instances rejected with probability ≥ 1 − p² = p.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import experiment_e1_amos_decider
+
+
+def test_e1_amos_decider(benchmark, record_experiment):
+    result = run_once(benchmark, experiment_e1_amos_decider)
+    record_experiment(result)
+    assert result.matches_paper

@@ -1,0 +1,18 @@
+"""E2 — ε-slack coloring via the trivial zero-round random coloring
+(Section 1.1).
+
+Reproduces: with every node picking a uniformly random color, a 1 − ε
+fraction of the nodes is properly colored with probability approaching 1 for
+any ε above the expected bad fraction 5/9 — randomization solves the ε-slack
+relaxation in constant time.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import experiment_e2_eps_slack_random_coloring
+
+
+def test_e2_eps_slack_random_coloring(benchmark, record_experiment):
+    result = run_once(benchmark, experiment_e2_eps_slack_random_coloring)
+    record_experiment(result)
+    assert result.matches_paper

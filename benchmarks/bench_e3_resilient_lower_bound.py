@@ -1,0 +1,19 @@
+"""E3 — the f-resilient lower bound on the consecutively-labelled cycle
+(Section 4).
+
+Reproduces: every order-invariant constant-round algorithm outputs the same
+color at all core nodes of the consecutive-identity cycle, hence leaves far
+more than f bad balls — no order-invariant O(1)-round algorithm solves the
+f-resilient relaxation of 3-coloring, and by Claim 1 / Theorem 1 neither does
+any algorithm, randomized or not.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import experiment_e3_resilient_lower_bound
+
+
+def test_e3_resilient_lower_bound(benchmark, record_experiment):
+    result = run_once(benchmark, experiment_e3_resilient_lower_bound)
+    record_experiment(result)
+    assert result.matches_paper

@@ -1,0 +1,16 @@
+"""E4 — Θ(log* n) rounds for 3-coloring the cycle (Sections 1.1, 1.3).
+
+Reproduces: the Cole–Vishkin upper bound's measured round counts follow
+log* n — over a 4096× increase in cycle size the rounds grow by at most an
+additive constant, and they always stay within the explicit log* bound.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import experiment_e4_logstar_coloring
+
+
+def test_e4_logstar_coloring(benchmark, record_experiment):
+    result = run_once(benchmark, experiment_e4_logstar_coloring)
+    record_experiment(result)
+    assert result.matches_paper

@@ -1,0 +1,18 @@
+"""E5 — the Corollary 1 decider: L_f ∈ BPLD.
+
+Reproduces: with the per-bad-ball acceptance probability p chosen in
+(2^{-1/f}, 2^{-1/(f+1)}), the decider accepts configurations with at most f
+bad balls with probability p^{|F|} > 1/2 and rejects configurations with at
+least f + 1 bad balls with probability 1 − p^{|F|} > 1/2; the measured
+acceptance matches p^{|F|} exactly.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import experiment_e5_resilient_decider
+
+
+def test_e5_resilient_decider(benchmark, record_experiment):
+    result = run_once(benchmark, experiment_e5_resilient_decider)
+    record_experiment(result)
+    assert result.matches_paper

@@ -1,0 +1,18 @@
+"""E6 — error amplification over hard instances (Claim 3 and Theorem 1).
+
+Reproduces: combining ν hard instances (disjointly or through the connected
+gluing) drives Pr[D accepts C(G)] below the proof's bounds (1 − βp)^ν and
+(1 − β(1−p)/μ)^{ν'}, and the ν prescribed by Eq. (3) pushes the constructor's
+success probability below its claimed r — the contradiction at the heart of
+the derandomization theorem.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import experiment_e6_error_amplification
+
+
+def test_e6_error_amplification(benchmark, record_experiment):
+    result = run_once(benchmark, experiment_e6_error_amplification)
+    record_experiment(result)
+    assert result.matches_paper

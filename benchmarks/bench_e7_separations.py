@@ -1,0 +1,19 @@
+"""E7 — the constructibility / decidability separations (Sections 2.2.2, 2.3).
+
+Reproduces the four cells of the paper's separation discussion: coloring
+(decidable, not constructible in O(1)), majority (constructible, not
+decidable), a task that is both (color reduction under a coloring promise —
+documented substitution for weak coloring), and amos (randomly decidable in
+zero rounds, deterministically undecidable below D/2 − 1 rounds) — the
+witness that LD ⊊ BPLD.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import experiment_e7_separations
+
+
+def test_e7_separations(benchmark, record_experiment):
+    result = run_once(benchmark, experiment_e7_separations)
+    record_experiment(result)
+    assert result.matches_paper

@@ -1,0 +1,18 @@
+"""E8 — randomization helps for ε-slack but not for f-resilient relaxations
+(the paper's headline application).
+
+Reproduces: the same zero-round random coloring solves the ε-slack relaxation
+of 3-coloring with probability close to 1, yet fails the f-resilient
+relaxation, and no order-invariant constant-round algorithm solves the
+f-resilient relaxation either.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import experiment_e8_slack_vs_resilient
+
+
+def test_e8_slack_vs_resilient(benchmark, record_experiment):
+    result = run_once(benchmark, experiment_e8_slack_vs_resilient)
+    record_experiment(result)
+    assert result.matches_paper

@@ -1,0 +1,16 @@
+"""E9 — far-acceptance probabilities and the Claim 5 anchor choice.
+
+Reproduces: in a hard instance there is a node u whose far-acceptance
+probability (all nodes at distance > t + t' from u accept) is at most
+1 − β(1 − p)/μ, the quantity the connected gluing of Theorem 1 needs.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import experiment_e9_far_acceptance
+
+
+def test_e9_far_acceptance(benchmark, record_experiment):
+    result = run_once(benchmark, experiment_e9_far_acceptance)
+    record_experiment(result)
+    assert result.matches_paper

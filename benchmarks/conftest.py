@@ -1,0 +1,44 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark runs one experiment of DESIGN.md's index at full scale through
+pytest-benchmark (a single round — the interesting output is the experiment's
+table, not the wall-clock time), prints the rendered table, and writes the
+result as JSON under ``benchmarks/results/`` so EXPERIMENTS.md can be
+refreshed from the artifacts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.harness.reporting import render_experiment, write_json
+from repro.harness.results import ExperimentResult
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_experiment(capsys):
+    """Return a callback that renders, persists, and sanity-checks a result."""
+
+    def _record(result: ExperimentResult) -> ExperimentResult:
+        write_json(result, RESULTS_DIR / f"{result.experiment_id.lower()}.json")
+        with capsys.disabled():
+            print()
+            print(render_experiment(result))
+        assert result.rows, f"{result.experiment_id} produced no rows"
+        return result
+
+    return _record
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result.
+
+    The experiments are statistical sweeps, not microbenchmarks; a single
+    round keeps the harness fast while still recording the wall-clock cost of
+    regenerating each table.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)

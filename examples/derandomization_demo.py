@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Executing the proof of Theorem 1 on a toy language.
+
+The derandomization proof is constructive enough to run: given a Monte-Carlo
+constructor that fails with probability ≥ β on hard instances and a BPLD
+decider with guarantee p, combining ν hard instances (disjointly, or glued
+into a connected graph through doubly-subdivided edges) drives the
+probability that the decider accepts the constructed output below the bounds
+(1 − βp)^ν and (1 − β(1−p)/μ)^{ν'} — contradicting any claimed success
+probability r once ν reaches the Eq. (3) prescription.
+
+The toy language is "all-zeros" (every node must output 0), the faulty
+constructor corrupts every node independently with probability q, and the
+decider rejects a corrupted node with probability p.  Every quantity of the
+proof is then available in closed form next to its measurement.
+
+Run with:  python examples/derandomization_demo.py
+"""
+
+from repro.analysis import format_table
+from repro.core import (
+    DerandomizationParameters,
+    PredicateLanguage,
+    amplification_disjoint_union,
+    amplification_glued,
+    mu_from_guarantee,
+    nu_disconnected,
+)
+from repro.core.construction import BallConstructor
+from repro.core.decision import RandomizedDecider
+from repro.core.lcl import PredicateLCL
+from repro.graphs import cycle_network
+from repro.local.algorithm import FunctionBallAlgorithm
+
+
+def main() -> None:
+    q = 0.05              # per-node corruption probability of the constructor
+    p = 0.8               # decider guarantee
+    size = 12             # nodes per hard instance
+    r = 0.5               # the success probability we will contradict
+
+    language = PredicateLCL(lambda ball: ball.center_output() != 0, radius=0, name="all-zeros")
+    constructor = BallConstructor(
+        FunctionBallAlgorithm(
+            lambda ball, tape: 1 if tape.bernoulli(q) else 0,
+            radius=0, randomized=True, name="faulty-constructor",
+        )
+    )
+    decider = RandomizedDecider(
+        rule=lambda ball, tape: True if ball.center_output() == 0 else not tape.bernoulli(p),
+        radius=0, guarantee=p, name="noisy-decider",
+    )
+
+    beta = 1 - (1 - q) ** size          # exact per-instance failure probability
+    params = DerandomizationParameters(r=r, p=p, beta=beta, t=0, t_prime=0)
+    print(f"proof parameters: beta={beta:.3f}  mu={params.mu}  "
+          f"nu (Eq. 3)={params.nu}  nu'={params.nu_prime}  "
+          f"required diameter={params.required_diameter}")
+    print()
+
+    rows = []
+    for nu in (1, 2, 4, 8, params.nu):
+        instances = [cycle_network(size, id_start=1 + 10_000 * i) for i in range(nu)]
+        union = amplification_disjoint_union(
+            constructor, decider, language, instances, beta=beta, p=p, trials=300
+        )
+        row = {
+            "nu": nu,
+            "union Pr[D accepts]": union.acceptance_estimate,
+            "bound (1-beta*p)^nu": union.theoretical_bound,
+            "Pr[C(G) in L]": union.membership_estimate,
+        }
+        if nu >= 2:
+            glued = amplification_glued(
+                constructor, decider, language, instances,
+                beta=beta, p=p, t=0, t_prime=0,
+                anchors=[instance.nodes()[0] for instance in instances], trials=300,
+            )
+            row["glued Pr[D accepts]"] = glued.acceptance_estimate
+            row["glued bound"] = glued.theoretical_bound
+        rows.append(row)
+    print(format_table(rows, title="Error amplification over nu hard instances"))
+    print()
+    final = rows[-1]
+    print(f"with nu = {params.nu} (Eq. 3) the measured Pr[C(G) in L] = "
+          f"{final['Pr[C(G) in L]']:.3f} < r = {r}: the claimed success probability is")
+    print("contradicted, exactly as in the proof of Theorem 1 — a correct constant-time")
+    print("Monte-Carlo constructor for a BPLD language cannot keep failing anywhere, so a")
+    print("deterministic constant-time constructor must exist.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Quickstart: networks, languages, construction, and decision in 60 lines.
+
+Builds a cycle, 3-colors it with Cole–Vishkin, checks the coloring with the
+language's local checker (the LD decider), breaks the coloring and checks
+again, and finally runs the zero-round randomized amos decider — the paper's
+canonical BPLD example.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.algorithms import ColeVishkinConstructor, oriented_cycle_network
+from repro.core import (
+    Amos,
+    AmosDecider,
+    Configuration,
+    LocalCheckerDecider,
+    ProperColoring,
+    SELECTED,
+)
+from repro.graphs import cycle_network
+
+
+def main() -> None:
+    # ---------------------------------------------------------------- #
+    # 1. Construct: Cole–Vishkin 3-coloring of an oriented cycle.
+    # ---------------------------------------------------------------- #
+    network = oriented_cycle_network(64, seed=7)
+    constructor = ColeVishkinConstructor()
+    configuration = constructor.configuration(network)
+    print(f"Cole–Vishkin colored a {len(network)}-node cycle "
+          f"in {constructor.last_rounds} rounds")
+
+    # ---------------------------------------------------------------- #
+    # 2. Decide: the coloring language's local checker (an LD decider).
+    # ---------------------------------------------------------------- #
+    language = ProperColoring(3)
+    checker = LocalCheckerDecider(language)
+    print(f"local checker accepts the coloring: {checker.decide(configuration).accepted}")
+
+    # Break one node and check again — the checker pinpoints the bad balls.
+    victim = configuration.nodes()[0]
+    neighbor = network.neighbors(victim)[0]
+    broken = configuration.with_outputs({victim: configuration.output_of(neighbor)})
+    outcome = checker.decide(broken)
+    print(f"after corrupting one node the checker accepts: {outcome.accepted} "
+          f"(rejecting nodes: {sorted(network.identity(v) for v in outcome.rejecting_nodes())})")
+
+    # ---------------------------------------------------------------- #
+    # 3. Randomized decision: the zero-round amos decider (BPLD).
+    # ---------------------------------------------------------------- #
+    plain = cycle_network(40)
+    nodes = plain.nodes()
+    one_selected = Configuration(
+        plain, {node: (SELECTED if node == nodes[0] else "") for node in nodes}
+    )
+    two_selected = Configuration(
+        plain,
+        {node: (SELECTED if node in (nodes[0], nodes[20]) else "") for node in nodes},
+    )
+    decider = AmosDecider()
+    print(f"amos membership: one selected -> {Amos().contains(one_selected)}, "
+          f"two selected -> {Amos().contains(two_selected)}")
+    print("amos decider acceptance probabilities (0 rounds, golden-ratio coins):")
+    print(f"  one selected : {decider.acceptance_probability(one_selected, trials=2000):.3f}"
+          f"  (paper: ≥ 0.618)")
+    print(f"  two selected : {decider.acceptance_probability(two_selected, trials=2000):.3f}"
+          f"  (paper: ≤ 1 − 0.618)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The project is configured through ``pyproject.toml``; this file exists so the
+package can also be installed in environments whose ``setuptools`` predates
+PEP 660 editable-install support (``pip install -e . --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

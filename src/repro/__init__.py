@@ -1,0 +1,44 @@
+"""repro — a reproduction of *Randomized Local Network Computing*
+(Feuilloley & Fraigniaud, SPAA 2015).
+
+The package implements the LOCAL model of distributed network computing and
+the paper's framework on top of it:
+
+* :mod:`repro.local` — the synchronous LOCAL-model simulator (networks,
+  identities, balls, message passing, private randomness);
+* :mod:`repro.graphs` — graph families, the F_k promise, and the gluing
+  operations used in the proof of Theorem 1;
+* :mod:`repro.core` — distributed languages, LD/BPLD deciders, construction
+  tasks, f-resilient and ε-slack relaxations, order-invariant algorithms and
+  the derandomization machinery (Claims 2–5, Eq. (3));
+* :mod:`repro.algorithms` — classic LOCAL baselines (Cole–Vishkin, Luby,
+  random coloring, color reduction, matching, dominating sets, resampling);
+* :mod:`repro.analysis` — Monte-Carlo estimation, metrics, log*, sweeps;
+* :mod:`repro.harness` — experiment records and reporting, used by the
+  benchmark suite that regenerates every quantitative claim of the paper
+  (see DESIGN.md and EXPERIMENTS.md).
+
+Quickstart
+----------
+>>> from repro.graphs import cycle_network
+>>> from repro.core import Configuration, ProperColoring, LocalCheckerDecider
+>>> net = cycle_network(9)
+>>> colors = {node: (index % 3) + 1 for index, node in enumerate(net.nodes())}
+>>> language = ProperColoring(3)
+>>> language.contains(Configuration(net, colors))
+True
+>>> LocalCheckerDecider(language).decide(Configuration(net, colors)).accepted
+True
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "local",
+    "graphs",
+    "core",
+    "algorithms",
+    "analysis",
+    "harness",
+    "__version__",
+]

@@ -1,0 +1,74 @@
+"""Classic LOCAL algorithms used as baselines and workload generators.
+
+The paper's arguments repeatedly refer to well-known construction algorithms
+— the Ω(log* n)-round 3-coloring of the cycle and its matching Cole–Vishkin
+upper bound, the trivial zero-round randomized coloring that solves ε-slack
+relaxations, color reduction under a coloring promise, Luby's MIS, maximal
+matching, minimal dominating sets, and Moser–Tardos style constraint fixing.
+They are implemented here on top of :mod:`repro.local` and exposed through
+:class:`~repro.core.construction.Constructor` wrappers so the decision /
+relaxation machinery of :mod:`repro.core` can evaluate their outputs.
+"""
+
+from repro.algorithms.coloring.cole_vishkin import (
+    ColeVishkinResult,
+    cole_vishkin_three_coloring,
+    ColeVishkinConstructor,
+    oriented_cycle_network,
+)
+from repro.algorithms.coloring.random_coloring import (
+    RandomColoringAlgorithm,
+    RandomColoringConstructor,
+    expected_proper_fraction,
+)
+from repro.algorithms.coloring.greedy import (
+    greedy_coloring_by_identity,
+    GreedyColoringConstructor,
+)
+from repro.algorithms.coloring.reduction import (
+    ColorReductionAlgorithm,
+    ColorReductionConstructor,
+)
+from repro.algorithms.mis.luby import LubyMISAlgorithm, LubyMISConstructor
+from repro.algorithms.mis.greedy_mis import (
+    greedy_mis_by_identity,
+    GreedyMISConstructor,
+)
+from repro.algorithms.matching.proposal_matching import (
+    ProposalMatchingAlgorithm,
+    ProposalMatchingConstructor,
+    greedy_maximal_matching,
+)
+from repro.algorithms.dominating_set.mis_dominating_set import (
+    MISDominatingSetConstructor,
+    greedy_minimal_dominating_set,
+)
+from repro.algorithms.lll.resampling import (
+    ResamplingLLLConstructor,
+    parallel_resampling_not_all_equal,
+)
+
+__all__ = [
+    "ColeVishkinResult",
+    "cole_vishkin_three_coloring",
+    "ColeVishkinConstructor",
+    "oriented_cycle_network",
+    "RandomColoringAlgorithm",
+    "RandomColoringConstructor",
+    "expected_proper_fraction",
+    "greedy_coloring_by_identity",
+    "GreedyColoringConstructor",
+    "ColorReductionAlgorithm",
+    "ColorReductionConstructor",
+    "LubyMISAlgorithm",
+    "LubyMISConstructor",
+    "greedy_mis_by_identity",
+    "GreedyMISConstructor",
+    "ProposalMatchingAlgorithm",
+    "ProposalMatchingConstructor",
+    "greedy_maximal_matching",
+    "MISDominatingSetConstructor",
+    "greedy_minimal_dominating_set",
+    "ResamplingLLLConstructor",
+    "parallel_resampling_not_all_equal",
+]

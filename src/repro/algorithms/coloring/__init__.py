@@ -1,0 +1,36 @@
+"""Coloring algorithms: Cole–Vishkin, random zero-round coloring, greedy
+reference colorings, and constant-time color reduction."""
+
+from repro.algorithms.coloring.cole_vishkin import (
+    ColeVishkinResult,
+    cole_vishkin_three_coloring,
+    ColeVishkinConstructor,
+    oriented_cycle_network,
+)
+from repro.algorithms.coloring.random_coloring import (
+    RandomColoringAlgorithm,
+    RandomColoringConstructor,
+    expected_proper_fraction,
+)
+from repro.algorithms.coloring.greedy import (
+    greedy_coloring_by_identity,
+    GreedyColoringConstructor,
+)
+from repro.algorithms.coloring.reduction import (
+    ColorReductionAlgorithm,
+    ColorReductionConstructor,
+)
+
+__all__ = [
+    "ColeVishkinResult",
+    "cole_vishkin_three_coloring",
+    "ColeVishkinConstructor",
+    "oriented_cycle_network",
+    "RandomColoringAlgorithm",
+    "RandomColoringConstructor",
+    "expected_proper_fraction",
+    "greedy_coloring_by_identity",
+    "GreedyColoringConstructor",
+    "ColorReductionAlgorithm",
+    "ColorReductionConstructor",
+]

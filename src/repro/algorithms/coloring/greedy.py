@@ -1,0 +1,68 @@
+"""Sequential greedy (deg+1)-coloring — the centralized reference baseline.
+
+Not a LOCAL algorithm: nodes are processed one by one in identity order and
+each takes the smallest color unused by its already-colored neighbours.  The
+result is a proper coloring using at most ``Δ + 1`` colors, which serves as
+
+* a reference solution when planting "almost correct" configurations for the
+  f-resilient experiments (take the greedy coloring, corrupt ``f + 1``
+  nodes), and
+* the input-promise generator for the constant-time color-reduction
+  constructor (:mod:`repro.algorithms.coloring.reduction`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional
+
+from repro.core.construction import Constructor
+from repro.local.network import Network
+from repro.local.randomness import TapeFactory
+
+__all__ = ["greedy_coloring_by_identity", "GreedyColoringConstructor"]
+
+
+def greedy_coloring_by_identity(
+    network: Network, palette_size: Optional[int] = None
+) -> Dict[Hashable, int]:
+    """Greedy proper coloring, processing nodes in increasing identity order.
+
+    Uses colors ``1, 2, ...``; at most ``Δ + 1`` colors are ever needed.  If
+    ``palette_size`` is given and the greedy choice would exceed it, a
+    ``RuntimeError`` is raised (cannot happen for
+    ``palette_size ≥ Δ + 1``).
+    """
+    colors: Dict[Hashable, int] = {}
+    for node in sorted(network.nodes(), key=network.identity):
+        used = {colors[u] for u in network.neighbors(node) if u in colors}
+        color = 1
+        while color in used:
+            color += 1
+        if palette_size is not None and color > palette_size:
+            raise RuntimeError(
+                f"greedy coloring needs color {color} > palette size {palette_size}"
+            )
+        colors[node] = color
+    return colors
+
+
+class GreedyColoringConstructor(Constructor):
+    """Constructor wrapper around the centralized greedy coloring.
+
+    Flagged as a *global* baseline: its ``rounds()`` is ``None`` because it
+    does not correspond to any constant-round LOCAL execution — it exists to
+    provide reference solutions, not to compete with the local algorithms.
+    """
+
+    name = "greedy-coloring-by-identity"
+    randomized = False
+
+    def __init__(self, palette_size: Optional[int] = None) -> None:
+        self.palette_size = palette_size
+
+    def construct(
+        self,
+        network: Network,
+        tape_factory: Optional[TapeFactory] = None,
+    ) -> Dict[Hashable, object]:
+        return dict(greedy_coloring_by_identity(network, self.palette_size))

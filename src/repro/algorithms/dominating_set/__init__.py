@@ -1,0 +1,8 @@
+"""Minimal-dominating-set constructors (via maximal independent sets)."""
+
+from repro.algorithms.dominating_set.mis_dominating_set import (
+    MISDominatingSetConstructor,
+    greedy_minimal_dominating_set,
+)
+
+__all__ = ["MISDominatingSetConstructor", "greedy_minimal_dominating_set"]

@@ -1,0 +1,9 @@
+"""Constraint-fixing by parallel resampling (Moser–Tardos style), for the
+not-all-equal constraint language standing in for the paper's LLL examples."""
+
+from repro.algorithms.lll.resampling import (
+    ResamplingLLLConstructor,
+    parallel_resampling_not_all_equal,
+)
+
+__all__ = ["ResamplingLLLConstructor", "parallel_resampling_not_all_equal"]

@@ -1,0 +1,14 @@
+"""Maximal-matching algorithms: the mutual-proposal distributed algorithm and
+the sequential greedy reference."""
+
+from repro.algorithms.matching.proposal_matching import (
+    ProposalMatchingAlgorithm,
+    ProposalMatchingConstructor,
+    greedy_maximal_matching,
+)
+
+__all__ = [
+    "ProposalMatchingAlgorithm",
+    "ProposalMatchingConstructor",
+    "greedy_maximal_matching",
+]

@@ -1,0 +1,12 @@
+"""Maximal-independent-set algorithms: Luby's randomized algorithm and the
+sequential greedy reference."""
+
+from repro.algorithms.mis.luby import LubyMISAlgorithm, LubyMISConstructor
+from repro.algorithms.mis.greedy_mis import greedy_mis_by_identity, GreedyMISConstructor
+
+__all__ = [
+    "LubyMISAlgorithm",
+    "LubyMISConstructor",
+    "greedy_mis_by_identity",
+    "GreedyMISConstructor",
+]

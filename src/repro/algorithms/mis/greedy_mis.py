@@ -1,0 +1,39 @@
+"""Sequential greedy maximal independent set (centralized reference).
+
+Processes nodes in increasing identity order and adds a node to the set
+whenever none of its neighbours has been added yet.  The result is a maximal
+independent set — and therefore also a minimal dominating set, a fact the
+dominating-set constructors rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional
+
+from repro.core.construction import Constructor
+from repro.local.network import Network
+from repro.local.randomness import TapeFactory
+
+__all__ = ["greedy_mis_by_identity", "GreedyMISConstructor"]
+
+
+def greedy_mis_by_identity(network: Network) -> Dict[Hashable, bool]:
+    """Greedy MIS by identity order; returns node -> membership flag."""
+    in_set: Dict[Hashable, bool] = {}
+    for node in sorted(network.nodes(), key=network.identity):
+        in_set[node] = not any(in_set.get(u, False) for u in network.neighbors(node))
+    return in_set
+
+
+class GreedyMISConstructor(Constructor):
+    """Constructor wrapper around the centralized greedy MIS (global baseline)."""
+
+    name = "greedy-mis-by-identity"
+    randomized = False
+
+    def construct(
+        self,
+        network: Network,
+        tape_factory: Optional[TapeFactory] = None,
+    ) -> Dict[Hashable, object]:
+        return dict(greedy_mis_by_identity(network))

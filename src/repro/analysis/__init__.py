@@ -1,0 +1,52 @@
+"""Measurement utilities: Monte-Carlo estimation, violation metrics, log*
+helpers, parameter sweeps, and plain-text table formatting for the benches."""
+
+from repro.analysis.estimator import (
+    BernoulliEstimate,
+    estimate_bernoulli,
+    wilson_interval,
+    sequential_probability_estimate,
+)
+from repro.analysis.metrics import (
+    fraction_bad_nodes,
+    conflicting_edges,
+    color_count,
+    independent_set_size,
+    matching_size,
+    dominating_set_size,
+)
+from repro.analysis.logstar import log_star, iterated_log, cole_vishkin_round_bound
+from repro.analysis.growth import (
+    GrowthFit,
+    fit_growth,
+    classify_growth,
+    grows_no_faster_than,
+    GROWTH_ORDER,
+)
+from repro.analysis.sweep import SweepResult, sweep
+from repro.analysis.tables import format_table, format_series
+
+__all__ = [
+    "BernoulliEstimate",
+    "estimate_bernoulli",
+    "wilson_interval",
+    "sequential_probability_estimate",
+    "fraction_bad_nodes",
+    "conflicting_edges",
+    "color_count",
+    "independent_set_size",
+    "matching_size",
+    "dominating_set_size",
+    "log_star",
+    "iterated_log",
+    "cole_vishkin_round_bound",
+    "GrowthFit",
+    "fit_growth",
+    "classify_growth",
+    "grows_no_faster_than",
+    "GROWTH_ORDER",
+    "SweepResult",
+    "sweep",
+    "format_table",
+    "format_series",
+]

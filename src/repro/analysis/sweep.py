@@ -1,0 +1,78 @@
+"""Parameter sweeps: run an experiment over a grid and collect rows.
+
+Every bench in ``benchmarks/`` is a sweep over one or two parameters (cycle
+size, slack fraction, resilience budget, number of glued instances, ...);
+this tiny driver keeps the row-collection code uniform and makes the sweeps
+reusable from the example scripts and the tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Sequence
+
+__all__ = ["SweepResult", "sweep"]
+
+
+@dataclass
+class SweepResult:
+    """The rows produced by a sweep.
+
+    Each row is a flat dict: the sweep parameters plus whatever the
+    experiment function returned for that parameter combination.
+    """
+
+    rows: List[Dict[str, object]] = field(default_factory=list)
+
+    def column(self, name: str) -> List[object]:
+        """Extract one column across all rows (missing values become None)."""
+        return [row.get(name) for row in self.rows]
+
+    def filter(self, **criteria: object) -> "SweepResult":
+        """Rows whose parameter values match all the given criteria."""
+        selected = [
+            row
+            for row in self.rows
+            if all(row.get(key) == value for key, value in criteria.items())
+        ]
+        return SweepResult(rows=selected)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+
+def sweep(
+    experiment: Callable[..., Mapping[str, object]],
+    parameters: Mapping[str, Sequence[object]],
+) -> SweepResult:
+    """Run ``experiment(**point)`` for every point of the parameter grid.
+
+    Parameters
+    ----------
+    experiment:
+        A callable taking the grid parameters as keyword arguments and
+        returning a mapping of measured values.
+    parameters:
+        Mapping parameter name -> sequence of values; the grid is the
+        Cartesian product in the given key order.
+
+    Returns
+    -------
+    SweepResult
+        One row per grid point, containing both the parameters and the
+        measurements (measurements win on key collisions, which is treated
+        as a programming error worth surfacing loudly in tests).
+    """
+    names = list(parameters.keys())
+    result = SweepResult()
+    for values in itertools.product(*(parameters[name] for name in names)):
+        point = dict(zip(names, values))
+        measured = dict(experiment(**point))
+        row: Dict[str, object] = dict(point)
+        row.update(measured)
+        result.rows.append(row)
+    return result

@@ -1,0 +1,147 @@
+"""Command-line interface: run experiments and regenerate EXPERIMENTS.md.
+
+Usage::
+
+    python -m repro list
+    python -m repro run E1 E3 --output-dir results/
+    python -m repro run all --quick
+    python -m repro report --results benchmarks/results --output EXPERIMENTS.md
+
+``run`` executes the selected experiments of DESIGN.md's index at full scale
+(or at a reduced scale with ``--quick``), prints their tables, and optionally
+writes the JSON artifacts; ``report`` renders a directory of artifacts into
+the EXPERIMENTS.md format.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.harness.experiments import ALL_EXPERIMENTS
+from repro.harness.reporting import render_experiment, write_json
+from repro.harness.results import ExperimentResult
+from repro.harness.summary import load_results_directory, render_experiments_markdown
+
+__all__ = ["main", "build_parser", "QUICK_PARAMETERS"]
+
+#: Reduced workloads for ``--quick`` runs (used by the CLI smoke tests too).
+QUICK_PARAMETERS: Dict[str, Dict[str, object]] = {
+    "E1": {"sizes": (9,), "trials": 400},
+    "E2": {"sizes": (30, 90), "eps_values": (0.75, 0.62), "trials": 60},
+    "E3": {"n": 15},
+    "E4": {"sizes": (8, 64, 1024)},
+    "E5": {"f_values": (1, 2), "n": 24, "trials": 400},
+    "E6": {"nu_values": (1, 2, 4), "trials": 120, "instance_size": 8},
+    "E7": {"n": 16, "trials": 400},
+    "E8": {"n": 15, "trials": 100},
+    "E9": {"instance_size": 12, "trials": 120},
+    "E10": {"sizes": (20, 40), "runs": 2},
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction harness for 'Randomized Local Network Computing' (SPAA 2015)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the available experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one or more experiments")
+    run_parser.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiment ids (E1..E10) or 'all'",
+    )
+    run_parser.add_argument(
+        "--quick", action="store_true", help="use reduced workloads (seconds instead of minutes)"
+    )
+    run_parser.add_argument(
+        "--output-dir",
+        type=Path,
+        default=None,
+        help="directory to write JSON artifacts to (omit to skip writing)",
+    )
+
+    report_parser = subparsers.add_parser(
+        "report", help="render a directory of JSON artifacts as EXPERIMENTS.md"
+    )
+    report_parser.add_argument(
+        "--results", type=Path, required=True, help="directory containing e*.json artifacts"
+    )
+    report_parser.add_argument(
+        "--output", type=Path, default=None, help="file to write (default: stdout)"
+    )
+    return parser
+
+
+def _resolve_experiment_ids(requested: Sequence[str]) -> List[str]:
+    if any(token.lower() == "all" for token in requested):
+        return list(ALL_EXPERIMENTS)
+    resolved = []
+    for token in requested:
+        experiment_id = token.upper()
+        if experiment_id not in ALL_EXPERIMENTS:
+            raise SystemExit(
+                f"unknown experiment {token!r}; available: {', '.join(ALL_EXPERIMENTS)} or 'all'"
+            )
+        resolved.append(experiment_id)
+    return resolved
+
+
+def _command_list(stream) -> int:
+    for experiment_id, function in ALL_EXPERIMENTS.items():
+        summary = (function.__doc__ or "").strip().splitlines()[0]
+        print(f"{experiment_id:4s} {summary}", file=stream)
+    return 0
+
+
+def _command_run(args: argparse.Namespace, stream) -> int:
+    failures = 0
+    for experiment_id in _resolve_experiment_ids(args.experiments):
+        function = ALL_EXPERIMENTS[experiment_id]
+        kwargs = QUICK_PARAMETERS.get(experiment_id, {}) if args.quick else {}
+        result: ExperimentResult = function(**kwargs)
+        print(render_experiment(result), file=stream)
+        print(file=stream)
+        if args.output_dir is not None:
+            path = write_json(result, Path(args.output_dir) / f"{experiment_id.lower()}.json")
+            print(f"wrote {path}", file=stream)
+        if result.matches_paper is False:
+            failures += 1
+    return 1 if failures else 0
+
+
+def _command_report(args: argparse.Namespace, stream) -> int:
+    results = load_results_directory(args.results)
+    if not results:
+        print(f"no JSON artifacts found in {args.results}", file=sys.stderr)
+        return 1
+    markdown = render_experiments_markdown(results)
+    if args.output is None:
+        print(markdown, file=stream)
+    else:
+        Path(args.output).write_text(markdown, encoding="utf8")
+        print(f"wrote {args.output}", file=stream)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, stream=None) -> int:
+    """Entry point; returns the process exit code."""
+    stream = stream if stream is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _command_list(stream)
+    if args.command == "run":
+        return _command_run(args, stream)
+    if args.command == "report":
+        return _command_report(args, stream)
+    raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

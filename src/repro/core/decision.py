@@ -1,0 +1,446 @@
+"""Distributed decision: LD and BPLD deciders (Sections 2.2.2 and 2.3).
+
+A decider runs at every node of an input-output configuration and makes each
+node output ``True`` (accept) or ``False`` (reject).  The configuration is
+*accepted* when every node accepts, *rejected* otherwise.
+
+* A *deterministic* decider for ``L`` (class LD) must accept every
+  configuration in ``L`` and reject every configuration outside ``L``.
+* A *randomized* decider with guarantee ``p > 1/2`` (class BPLD) must, for
+  every configuration and every identity assignment, accept with probability
+  at least ``p`` when the configuration is in ``L``, and reject with
+  probability at least ``p`` when it is not — Eq. (1) of the paper.
+
+Concrete deciders:
+
+* :class:`LocalCheckerDecider` — the canonical LD decider for LCL languages:
+  every node checks whether its own radius-``t`` ball is bad.
+* :class:`AmosDecider` — the zero-round randomized decider for ``amos`` with
+  guarantee ``p = (√5 − 1)/2 ≈ 0.618`` (Section 2.3.1).
+* :class:`ResilientDecider` — the decider from the proof of Corollary 1
+  showing that the f-resilient relaxation of any LCL language is in BPLD:
+  a node with a good ball accepts; a node with a bad ball accepts with
+  probability ``p`` chosen in ``(2^{-1/f}, 2^{-1/(f+1)})``.
+
+:func:`estimate_guarantee` measures the empirical guarantee of a randomized
+decider on a set of labelled configurations; experiment E1 and E5 are built
+on it.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.languages import Configuration, DistributedLanguage, SELECTED
+from repro.core.lcl import LCLLanguage
+from repro.local.ball import BallView
+from repro.local.randomness import RandomTape, TapeFactory
+from repro.local.simulator import run_ball_algorithm
+from repro.local.algorithm import BallAlgorithm
+
+__all__ = [
+    "DecisionOutcome",
+    "Decider",
+    "DeterministicDecider",
+    "RandomizedDecider",
+    "LocalCheckerDecider",
+    "AmosDecider",
+    "ResilientDecider",
+    "GuaranteeEstimate",
+    "estimate_guarantee",
+    "golden_ratio_guarantee",
+    "resilient_probability_window",
+]
+
+
+def golden_ratio_guarantee() -> float:
+    """The guarantee ``p = (√5 − 1)/2 ≈ 0.618`` of the amos decider."""
+    return (math.sqrt(5.0) - 1.0) / 2.0
+
+
+def resilient_probability_window(f: int) -> Tuple[float, float]:
+    """The open interval ``(2^{-1/f}, 2^{-1/(f+1)})`` of Corollary 1.
+
+    The proof picks the per-bad-ball acceptance probability ``p`` inside this
+    window so that ``p^f > 1/2`` (yes-instances accepted with probability
+    > 1/2) and ``p^{f+1} < 1/2`` (no-instances rejected with probability
+    > 1/2).
+    """
+    if f < 1:
+        raise ValueError("the resilience parameter f must be at least 1")
+    low = 2.0 ** (-1.0 / f)
+    high = 2.0 ** (-1.0 / (f + 1))
+    return (low, high)
+
+
+@dataclass
+class DecisionOutcome:
+    """The result of one execution of a decider on a configuration."""
+
+    votes: Dict[Hashable, bool]
+
+    @property
+    def accepted(self) -> bool:
+        """Global acceptance: every node voted ``True``."""
+        return all(self.votes.values())
+
+    @property
+    def rejected(self) -> bool:
+        return not self.accepted
+
+    def rejecting_nodes(self) -> List[Hashable]:
+        return [node for node, vote in self.votes.items() if not vote]
+
+    def accepted_far_from(
+        self, configuration: Configuration, node: Hashable, distance: int
+    ) -> bool:
+        """Whether every node at distance **greater than** ``distance`` from
+        ``node`` accepted — the "accepts far from u" event of Claim 4."""
+        distances = configuration.network.distances_from(node)
+        for other, vote in self.votes.items():
+            if distances.get(other, math.inf) > distance and not vote:
+                return False
+        return True
+
+    def rejecting_nodes_within(
+        self, configuration: Configuration, node: Hashable, distance: int
+    ) -> List[Hashable]:
+        """Rejecting nodes at distance at most ``distance`` from ``node``
+        (the set ``Reject(u, σ')`` of Claim 4)."""
+        distances = configuration.network.distances_from(node, cutoff=distance)
+        return [
+            other
+            for other in self.rejecting_nodes()
+            if other in distances
+        ]
+
+
+class _DeciderBallAlgorithm(BallAlgorithm):
+    """Internal adapter presenting a decider's per-node rule as a ball
+    algorithm so it can run on the simulator."""
+
+    def __init__(self, decider: "Decider") -> None:
+        self.decider = decider
+        self.radius = decider.radius
+        self.randomized = decider.randomized
+        self.name = f"decider({decider.name})"
+
+    def compute(self, ball: BallView, tape: Optional[RandomTape] = None) -> object:
+        return bool(self.decider.vote(ball, tape))
+
+
+class Decider(ABC):
+    """Base class of all deciders.
+
+    A decider is specified by its checking ``radius`` (its round complexity
+    ``t'`` in the paper), whether it is ``randomized``, and the per-node
+    voting rule :meth:`vote`, which sees the node's radius-``radius`` ball
+    *with outputs* and (for randomized deciders) the node's private tape.
+    """
+
+    name: str = "decider"
+    radius: int = 0
+    randomized: bool = False
+
+    @abstractmethod
+    def vote(self, ball: BallView, tape: Optional[RandomTape] = None) -> bool:
+        """The boolean this node outputs."""
+
+    # ------------------------------------------------------------------ #
+    def decide(
+        self,
+        configuration: Configuration,
+        tape_factory: Optional[TapeFactory] = None,
+    ) -> DecisionOutcome:
+        """Run the decider once on a configuration.
+
+        ``tape_factory`` supplies the private randomness (one tape per node
+        identity); deterministic deciders ignore it.  Passing the same
+        factory state twice replays the same random string σ′, which is how
+        the Claim 4 analysis fixes the decider's coins.
+        """
+        votes = run_ball_algorithm(
+            configuration.network,
+            _DeciderBallAlgorithm(self),
+            tape_factory=tape_factory,
+            outputs=configuration.outputs,
+        )
+        return DecisionOutcome(votes={node: bool(v) for node, v in votes.items()})
+
+    def acceptance_probability(
+        self,
+        configuration: Configuration,
+        trials: int = 200,
+        seed: int = 0,
+    ) -> float:
+        """Monte-Carlo estimate of Pr[all nodes accept] over the decider's
+        coins (1 trial suffices for a deterministic decider).
+
+        The configuration is fixed across trials, so the per-node balls are
+        extracted once and only the coin flips are redrawn — behaviourally
+        identical to repeated :meth:`decide` calls, but much faster.
+        """
+        if not self.randomized:
+            return 1.0 if self.decide(configuration).accepted else 0.0
+        balls = self._balls_of(configuration)
+        accepted = 0
+        for trial in range(trials):
+            factory = TapeFactory(seed + trial, salt=self.name)
+            if self._accepts_with(balls, configuration, factory):
+                accepted += 1
+        return accepted / trials
+
+    # ------------------------------------------------------------------ #
+    # Internal fast paths (shared with estimate_guarantee)
+    # ------------------------------------------------------------------ #
+    def _balls_of(self, configuration: Configuration) -> Dict[Hashable, BallView]:
+        return {
+            node: configuration.ball(node, self.radius)
+            for node in configuration.nodes()
+        }
+
+    def _accepts_with(
+        self,
+        balls: Dict[Hashable, BallView],
+        configuration: Configuration,
+        factory: Optional[TapeFactory],
+    ) -> bool:
+        for node, ball in balls.items():
+            tape = None
+            if self.randomized:
+                assert factory is not None
+                tape = factory.tape_for(configuration.network.identity(node))
+            if not self.vote(ball, tape):
+                return False
+        return True
+
+
+class DeterministicDecider(Decider):
+    """A deterministic decider built from a predicate on balls-with-outputs."""
+
+    randomized = False
+
+    def __init__(
+        self, rule: Callable[[BallView], bool], radius: int, name: str = "deterministic-decider"
+    ) -> None:
+        self._rule = rule
+        self.radius = int(radius)
+        self.name = name
+
+    def vote(self, ball: BallView, tape: Optional[RandomTape] = None) -> bool:
+        return bool(self._rule(ball))
+
+
+class RandomizedDecider(Decider):
+    """A randomized decider built from a rule ``(ball, tape) -> bool`` and a
+    claimed guarantee ``p > 1/2``."""
+
+    randomized = True
+
+    def __init__(
+        self,
+        rule: Callable[[BallView, RandomTape], bool],
+        radius: int,
+        guarantee: float,
+        name: str = "randomized-decider",
+    ) -> None:
+        if not 0.5 < guarantee <= 1.0:
+            raise ValueError("the guarantee p must lie in (1/2, 1]")
+        self._rule = rule
+        self.radius = int(radius)
+        self.guarantee = float(guarantee)
+        self.name = name
+
+    def vote(self, ball: BallView, tape: Optional[RandomTape] = None) -> bool:
+        if tape is None:
+            raise ValueError("a randomized decider needs a random tape")
+        return bool(self._rule(ball, tape))
+
+
+class LocalCheckerDecider(DeterministicDecider):
+    """The canonical LD decider of an LCL language.
+
+    Every node inspects its radius-``t`` ball and accepts iff the ball is not
+    in ``Bad(L)``.  The decider is perfect: a configuration is accepted iff
+    it belongs to the language — this is what "locally checkable" means, and
+    it witnesses ``L ∈ LD(t)``.
+    """
+
+    def __init__(self, language: LCLLanguage) -> None:
+        super().__init__(
+            rule=lambda ball: not language.is_bad_ball(ball),
+            radius=language.radius,
+            name=f"local-checker({language.name})",
+        )
+        self.language = language
+
+
+class AmosDecider(RandomizedDecider):
+    """The zero-round randomized decider for ``amos`` (Section 2.3.1).
+
+    Every non-selected node accepts.  Every selected node accepts with
+    probability ``p = (√5 − 1)/2`` and rejects with probability ``1 − p``.
+    Error analysis from the paper: with a single selected node the
+    configuration is accepted with probability ``p`` (as required); with two
+    or more selected nodes it is rejected with probability at least
+    ``1 − p² = p`` (the defining identity of the golden ratio), so the
+    guarantee is exactly ``p``.
+    """
+
+    def __init__(self) -> None:
+        p = golden_ratio_guarantee()
+        super().__init__(
+            rule=self._vote,
+            radius=0,
+            guarantee=p,
+            name="amos-golden-ratio-decider",
+        )
+
+    @staticmethod
+    def _vote(ball: BallView, tape: RandomTape) -> bool:
+        if ball.center_output() != SELECTED:
+            return True
+        return tape.bernoulli(golden_ratio_guarantee())
+
+
+class ResilientDecider(RandomizedDecider):
+    """The BPLD decider of the f-resilient relaxation ``L_f`` (Corollary 1).
+
+    Every node collects its radius-``t`` ball (``t`` = checking radius of the
+    base LCL language).  If the ball is good the node accepts; if the ball is
+    bad the node accepts with probability ``p`` and rejects with probability
+    ``1 − p``, where ``p`` lies in the open window
+    ``(2^{-1/f}, 2^{-1/(f+1)})``.
+
+    * On a yes-instance (at most ``f`` bad balls) all nodes accept with
+      probability at least ``p^f > 1/2``.
+    * On a no-instance (at least ``f + 1`` bad balls) some node rejects with
+      probability at least ``1 − p^{f+1} > 1/2``.
+
+    Hence ``L_f ∈ BPLD`` with guarantee ``min(p^f, 1 − p^{f+1}) > 1/2``.
+    """
+
+    def __init__(
+        self,
+        language: LCLLanguage,
+        f: int,
+        acceptance_probability: Optional[float] = None,
+    ) -> None:
+        low, high = resilient_probability_window(f)
+        if acceptance_probability is None:
+            acceptance_probability = math.sqrt(low * high)
+        if not low < acceptance_probability < high:
+            raise ValueError(
+                f"acceptance probability must lie strictly inside "
+                f"({low:.6f}, {high:.6f}) for f={f}; got {acceptance_probability}"
+            )
+        self.language = language
+        self.f = int(f)
+        self.p_bad_ball = float(acceptance_probability)
+        guarantee = min(
+            self.p_bad_ball**self.f, 1.0 - self.p_bad_ball ** (self.f + 1)
+        )
+        super().__init__(
+            rule=self._vote,
+            radius=language.radius,
+            guarantee=guarantee,
+            name=f"resilient-decider({language.name}, f={f})",
+        )
+
+    def _vote(self, ball: BallView, tape: RandomTape) -> bool:
+        if not self.language.is_bad_ball(ball):
+            return True
+        return tape.bernoulli(self.p_bad_ball)
+
+    def theoretical_acceptance(self, bad_ball_count: int) -> float:
+        """Exact Pr[all nodes accept] for a configuration with the given
+        number of bad balls (the coins at distinct nodes are independent)."""
+        return self.p_bad_ball ** int(bad_ball_count)
+
+
+# --------------------------------------------------------------------------- #
+# Guarantee estimation
+# --------------------------------------------------------------------------- #
+@dataclass
+class GuaranteeEstimate:
+    """Empirical guarantee of a decider on labelled configurations.
+
+    ``per_configuration`` maps an index to a tuple ``(is_member,
+    success_rate, half_width)`` where *success* means "all accept" on members
+    and "some node rejects" on non-members.  The ``guarantee`` is the minimum
+    success rate over all configurations — the empirical counterpart of the
+    paper's ``p``.
+    """
+
+    per_configuration: Dict[int, Tuple[bool, float, float]] = field(default_factory=dict)
+
+    @property
+    def guarantee(self) -> float:
+        if not self.per_configuration:
+            return float("nan")
+        return min(rate for (_member, rate, _hw) in self.per_configuration.values())
+
+    @property
+    def worst_member_rate(self) -> float:
+        rates = [r for (member, r, _hw) in self.per_configuration.values() if member]
+        return min(rates) if rates else float("nan")
+
+    @property
+    def worst_non_member_rate(self) -> float:
+        rates = [r for (member, r, _hw) in self.per_configuration.values() if not member]
+        return min(rates) if rates else float("nan")
+
+
+def _wilson_half_width(successes: int, trials: int, z: float = 1.96) -> float:
+    """Half-width of the Wilson score interval (used instead of the normal
+    approximation because success rates near 0 or 1 are common here)."""
+    if trials == 0:
+        return float("nan")
+    phat = successes / trials
+    denom = 1.0 + z * z / trials
+    center = (phat + z * z / (2 * trials)) / denom
+    spread = (
+        z
+        * math.sqrt(phat * (1 - phat) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    low = max(0.0, center - spread)
+    high = min(1.0, center + spread)
+    return (high - low) / 2.0
+
+
+def estimate_guarantee(
+    decider: Decider,
+    language: DistributedLanguage,
+    configurations: Sequence[Configuration],
+    trials: int = 400,
+    seed: int = 0,
+) -> GuaranteeEstimate:
+    """Estimate the guarantee of ``decider`` for ``language``.
+
+    For every configuration, membership is evaluated with the language's own
+    (global) predicate, and the decider is run ``trials`` times with fresh
+    coins.  Success means "accepted" on members and "rejected" on
+    non-members, matching Eq. (1).  Deterministic deciders are run once.
+    """
+    estimate = GuaranteeEstimate()
+    for index, configuration in enumerate(configurations):
+        member = language.contains(configuration)
+        runs = 1 if not decider.randomized else trials
+        successes = 0
+        balls = decider._balls_of(configuration)
+        for trial in range(runs):
+            factory = TapeFactory(seed * 1_000_003 + trial, salt=f"{decider.name}/{index}")
+            accepted = decider._accepts_with(balls, configuration, factory)
+            ok = accepted if member else not accepted
+            successes += int(ok)
+        rate = successes / runs
+        estimate.per_configuration[index] = (
+            member,
+            rate,
+            _wilson_half_width(successes, runs),
+        )
+    return estimate

@@ -1,0 +1,147 @@
+"""The promise F_k: bounded degree, bounded label size.
+
+Section 2.2.3 of the paper fixes a non-negative integer ``k`` and restricts
+attention to input-output configurations ``(G, (x, y))`` such that every node
+``v`` satisfies ``max{deg(v), |x(v)|, |y(v)|} <= k``.  The derandomization
+theorem (Theorem 1) requires ``k > 2`` because the gluing construction adds
+two edges around the subdivision nodes.
+
+This module provides the promise as a first-class object so that experiments
+can assert their workloads stay inside it, and so that the order-invariant
+enumeration can bound the number of distinct balls (the finiteness argument
+behind ``beta = 1/N`` in Claim 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Mapping, Optional
+
+from repro.local.network import Network
+
+__all__ = ["label_size", "PromiseFk", "satisfies_promise", "violations_of_promise"]
+
+
+def label_size(value: object) -> int:
+    """The size in bits of a node label, matching the paper's |x(v)|.
+
+    The paper's labels are binary strings; we accept richer Python values and
+    measure them as follows:
+
+    * ``None`` and the empty string have size 0 (the empty label);
+    * a ``str`` of '0'/'1' characters has its length (a genuine bit string);
+    * any other ``str`` counts 8 bits per character;
+    * ``bool`` has size 1;
+    * an ``int`` has its bit length (minimum 1);
+    * a ``tuple``/``list`` has the sum of its members' sizes;
+    * anything else counts 8 bits per character of its ``repr``.
+    """
+    if value is None:
+        return 0
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, str):
+        if value == "":
+            return 0
+        if set(value) <= {"0", "1"}:
+            return len(value)
+        return 8 * len(value)
+    if isinstance(value, int):
+        return max(1, int(value).bit_length())
+    if isinstance(value, (tuple, list)):
+        return sum(label_size(item) for item in value)
+    return 8 * len(repr(value))
+
+
+@dataclass(frozen=True)
+class PromiseFk:
+    """The promise ``F_k`` (and its disconnected variant ``F*_k``).
+
+    Parameters
+    ----------
+    k:
+        The common bound on degrees and label sizes.
+    require_connected:
+        ``True`` for the paper's default ``F_k`` (configurations on connected
+        graphs); ``False`` for ``F*_k`` used in Claim 3.
+    """
+
+    k: int
+    require_connected: bool = True
+
+    def __post_init__(self) -> None:
+        if self.k < 0:
+            raise ValueError("k must be non-negative")
+
+    # ------------------------------------------------------------------ #
+    def check_network(
+        self,
+        network: Network,
+        outputs: Optional[Mapping[Hashable, object]] = None,
+    ) -> bool:
+        """Whether the network (with optional outputs) satisfies the promise."""
+        return not self.violations(network, outputs)
+
+    def violations(
+        self,
+        network: Network,
+        outputs: Optional[Mapping[Hashable, object]] = None,
+    ) -> Dict[str, list]:
+        """Describe every promise violation.
+
+        Returns a dict with (possibly empty) lists under the keys
+        ``"degree"``, ``"input"``, ``"output"``, and ``"connectivity"``.
+        An empty dict (no keys) means the promise holds.
+        """
+        result: Dict[str, list] = {}
+        degree_violations = [
+            node for node in network.nodes() if network.degree(node) > self.k
+        ]
+        if degree_violations:
+            result["degree"] = degree_violations
+        input_violations = [
+            node
+            for node in network.nodes()
+            if label_size(network.input_of(node)) > self.k
+        ]
+        if input_violations:
+            result["input"] = input_violations
+        if outputs is not None:
+            output_violations = [
+                node
+                for node in network.nodes()
+                if label_size(outputs.get(node)) > self.k
+            ]
+            if output_violations:
+                result["output"] = output_violations
+        if self.require_connected and not network.is_connected():
+            result["connectivity"] = ["graph is not connected"]
+        return result
+
+    def relaxed_to_disconnected(self) -> "PromiseFk":
+        """The corresponding ``F*_k`` promise (connectivity not required)."""
+        return PromiseFk(self.k, require_connected=False)
+
+    def admits_gluing(self) -> bool:
+        """Whether the gluing construction of Theorem 1 applies (k > 2)."""
+        return self.k > 2
+
+
+def satisfies_promise(
+    network: Network,
+    k: int,
+    outputs: Optional[Mapping[Hashable, object]] = None,
+    require_connected: bool = True,
+) -> bool:
+    """Convenience wrapper: does ``(G, (x, y))`` lie in ``F_k``?"""
+    return PromiseFk(k, require_connected).check_network(network, outputs)
+
+
+def violations_of_promise(
+    network: Network,
+    k: int,
+    outputs: Optional[Mapping[Hashable, object]] = None,
+    require_connected: bool = True,
+) -> Dict[str, list]:
+    """Convenience wrapper returning the violation report of ``F_k``."""
+    return PromiseFk(k, require_connected).violations(network, outputs)

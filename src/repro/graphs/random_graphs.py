@@ -1,0 +1,140 @@
+"""Random bounded-degree graph families.
+
+The promise ``F_k`` of the paper requires bounded degree, so the random
+families offered here are degree-controlled: random d-regular graphs, random
+trees, and a degree-truncated G(n, p) (Erdős–Rényi edges are dropped greedily
+whenever they would exceed the requested maximum degree, preserving
+simplicity and the degree bound while keeping the edge distribution close to
+G(n, p) for sparse p).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+import networkx as nx
+import numpy as np
+
+from repro.local.identifiers import (
+    consecutive_ids,
+    random_distinct_ids,
+    shuffled_consecutive_ids,
+)
+from repro.local.network import Network
+
+__all__ = [
+    "random_regular_network",
+    "bounded_degree_gnp_network",
+    "random_tree_network",
+]
+
+
+def _ids_for(nodes, ids: str, seed: int, start: int):
+    if ids == "consecutive":
+        return consecutive_ids(nodes, start=start)
+    if ids == "shuffled":
+        return shuffled_consecutive_ids(nodes, seed=seed, start=start)
+    if ids == "random":
+        return random_distinct_ids(nodes, seed=seed, low=start)
+    raise ValueError(f"unknown id scheme: {ids!r}")
+
+
+def random_regular_network(
+    n: int,
+    degree: int,
+    seed: int = 0,
+    ids: str = "shuffled",
+    id_start: int = 1,
+    inputs: Optional[Mapping] = None,
+    require_connected: bool = True,
+    max_attempts: int = 50,
+) -> Network:
+    """A uniformly random simple ``degree``-regular graph on ``n`` nodes.
+
+    ``n * degree`` must be even and ``degree < n``.  When
+    ``require_connected`` is set (the default — the paper's basic model deals
+    with connected graphs), sampling is retried until a connected graph is
+    produced.
+    """
+    if degree >= n:
+        raise ValueError("degree must be smaller than n")
+    if (n * degree) % 2 != 0:
+        raise ValueError("n * degree must be even for a regular graph to exist")
+    rng = np.random.default_rng(seed)
+    for _ in range(max_attempts):
+        graph = nx.random_regular_graph(degree, n, seed=int(rng.integers(0, 2**31 - 1)))
+        if not require_connected or nx.is_connected(graph):
+            return Network(graph, _ids_for(list(graph.nodes()), ids, seed, id_start), inputs)
+    raise RuntimeError(
+        f"failed to sample a connected {degree}-regular graph on {n} nodes "
+        f"in {max_attempts} attempts"
+    )
+
+
+def bounded_degree_gnp_network(
+    n: int,
+    p: float,
+    max_degree: int,
+    seed: int = 0,
+    ids: str = "shuffled",
+    id_start: int = 1,
+    inputs: Optional[Mapping] = None,
+    connect: bool = True,
+) -> Network:
+    """A G(n, p) sample truncated to maximum degree ``max_degree``.
+
+    Edges of a G(n, p) sample are visited in random order and kept only when
+    both endpoints still have residual degree.  When ``connect`` is set, a
+    spanning structure is enforced afterwards by adding path edges between
+    consecutive components whenever the degree budget allows (when it does
+    not, the graph is returned as is and may be disconnected — callers that
+    need connectivity should check).
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must lie in [0, 1]")
+    if max_degree < 1:
+        raise ValueError("max_degree must be at least 1")
+    rng = np.random.default_rng(seed)
+    base = nx.gnp_random_graph(n, p, seed=int(rng.integers(0, 2**31 - 1)))
+    edges = list(base.edges())
+    rng.shuffle(edges)
+
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    for u, v in edges:
+        if graph.degree(u) < max_degree and graph.degree(v) < max_degree:
+            graph.add_edge(u, v)
+
+    if connect and n > 1:
+        components = [sorted(c) for c in nx.connected_components(graph)]
+        components.sort(key=lambda c: c[0])
+        for current, following in zip(components, components[1:]):
+            candidates_u = [u for u in current if graph.degree(u) < max_degree]
+            candidates_v = [v for v in following if graph.degree(v) < max_degree]
+            if candidates_u and candidates_v:
+                graph.add_edge(candidates_u[0], candidates_v[0])
+
+    return Network(graph, _ids_for(list(graph.nodes()), ids, seed, id_start), inputs)
+
+
+def random_tree_network(
+    n: int,
+    seed: int = 0,
+    ids: str = "shuffled",
+    id_start: int = 1,
+    inputs: Optional[Mapping] = None,
+) -> Network:
+    """A uniformly random labelled tree on ``n`` nodes (via Prüfer sequences)."""
+    if n < 1:
+        raise ValueError("a tree needs at least one node")
+    if n == 1:
+        graph = nx.Graph()
+        graph.add_node(0)
+    elif n == 2:
+        graph = nx.Graph()
+        graph.add_edge(0, 1)
+    else:
+        rng = np.random.default_rng(seed)
+        prufer = [int(v) for v in rng.integers(0, n, size=n - 2)]
+        graph = nx.from_prufer_sequence(prufer)
+    return Network(graph, _ids_for(list(graph.nodes()), ids, seed, id_start), inputs)

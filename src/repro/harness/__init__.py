@@ -1,0 +1,18 @@
+"""Experiment harness: named experiments, result records, and reporting.
+
+Each experiment of DESIGN.md's index (E1–E10) has a function in
+``benchmarks/`` that produces an :class:`~repro.harness.results.ExperimentResult`;
+the harness records the result rows, the parameters, and the paper's expected
+shape so EXPERIMENTS.md can be regenerated mechanically.
+"""
+
+from repro.harness.results import ExperimentResult, ExperimentRegistry
+from repro.harness.reporting import render_experiment, write_json, load_json
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentRegistry",
+    "render_experiment",
+    "write_json",
+    "load_json",
+]

@@ -1,0 +1,45 @@
+"""Rendering and persisting experiment results."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.analysis.tables import format_table
+from repro.harness.results import ExperimentResult
+
+__all__ = ["render_experiment", "write_json", "load_json"]
+
+
+def render_experiment(result: ExperimentResult, precision: int = 4) -> str:
+    """Render an experiment result as the text block the benches print."""
+    lines = [
+        f"== {result.experiment_id}: {result.title} ==",
+        f"paper claim : {result.paper_claim}",
+    ]
+    if result.parameters:
+        parameters = ", ".join(f"{key}={value}" for key, value in result.parameters.items())
+        lines.append(f"parameters  : {parameters}")
+    if result.rows:
+        lines.append(format_table(result.rows, precision=precision))
+    if result.matches_paper is not None:
+        verdict = "MATCHES the paper's claim" if result.matches_paper else "DOES NOT match"
+        lines.append(f"verdict     : {verdict}")
+    if result.notes:
+        lines.append(f"notes       : {result.notes}")
+    return "\n".join(lines)
+
+
+def write_json(result: ExperimentResult, path: Union[str, Path]) -> Path:
+    """Persist an experiment result as JSON; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(result.to_dict(), indent=2, default=str), encoding="utf8")
+    return path
+
+
+def load_json(path: Union[str, Path]) -> ExperimentResult:
+    """Load an experiment result previously written by :func:`write_json`."""
+    data = json.loads(Path(path).read_text(encoding="utf8"))
+    return ExperimentResult.from_dict(data)

@@ -1,0 +1,106 @@
+"""Experiment result records.
+
+An :class:`ExperimentResult` captures everything a row of EXPERIMENTS.md
+needs: the experiment identifier, the workload parameters, the measured rows,
+the claim from the paper it reproduces, and a free-form verdict on whether
+the measured shape matches.  The :class:`ExperimentRegistry` collects the
+results of one benchmark session so a single report can be rendered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+__all__ = ["ExperimentResult", "ExperimentRegistry"]
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment (one table/series of the harness).
+
+    Attributes
+    ----------
+    experiment_id:
+        The identifier from DESIGN.md's experiment index (e.g. ``"E1"``).
+    title:
+        Human-readable one-line description.
+    paper_claim:
+        The quantitative claim from the paper being reproduced.
+    parameters:
+        Workload parameters of this run (sizes, trials, seeds, ...).
+    rows:
+        The measured rows (same shape the bench prints).
+    matches_paper:
+        Whether the measured shape agrees with the paper's claim, as judged
+        by the experiment's own acceptance criterion.
+    notes:
+        Anything worth recording (tolerances used, substitutions, caveats).
+    """
+
+    experiment_id: str
+    title: str
+    paper_claim: str
+    parameters: Dict[str, object] = field(default_factory=dict)
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    matches_paper: Optional[bool] = None
+    notes: str = ""
+
+    def add_row(self, **values: object) -> None:
+        self.rows.append(dict(values))
+
+    def column(self, name: str) -> List[object]:
+        return [row.get(name) for row in self.rows]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "paper_claim": self.paper_claim,
+            "parameters": dict(self.parameters),
+            "rows": [dict(row) for row in self.rows],
+            "matches_paper": self.matches_paper,
+            "notes": self.notes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ExperimentResult":
+        return cls(
+            experiment_id=str(data["experiment_id"]),
+            title=str(data["title"]),
+            paper_claim=str(data["paper_claim"]),
+            parameters=dict(data.get("parameters", {})),  # type: ignore[arg-type]
+            rows=[dict(row) for row in data.get("rows", [])],  # type: ignore[union-attr]
+            matches_paper=data.get("matches_paper"),  # type: ignore[arg-type]
+            notes=str(data.get("notes", "")),
+        )
+
+
+@dataclass
+class ExperimentRegistry:
+    """A collection of experiment results from one benchmark session."""
+
+    results: Dict[str, ExperimentResult] = field(default_factory=dict)
+
+    def record(self, result: ExperimentResult) -> None:
+        self.results[result.experiment_id] = result
+
+    def get(self, experiment_id: str) -> ExperimentResult:
+        return self.results[experiment_id]
+
+    def __contains__(self, experiment_id: str) -> bool:
+        return experiment_id in self.results
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def summary_rows(self) -> List[Dict[str, object]]:
+        """One row per experiment: id, title, and the match verdict."""
+        return [
+            {
+                "experiment": result.experiment_id,
+                "title": result.title,
+                "matches_paper": result.matches_paper,
+            }
+            for result in sorted(self.results.values(), key=lambda r: r.experiment_id)
+        ]

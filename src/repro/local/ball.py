@@ -1,0 +1,290 @@
+"""Radius-t balls, the elementary object of constant-time local computing.
+
+Following Section 2.1.1 of the paper, the ball ``B_G(v, t)`` is the subgraph
+of ``G`` induced by all nodes at distance at most ``t`` from ``v``, *excluding
+the edges between nodes at distance exactly* ``t`` from ``v``.  A ``t``-round
+LOCAL algorithm is equivalent to a map from such balls (with their node
+identities and inputs, and, for decision tasks, outputs) to local outputs.
+
+The :class:`BallView` also provides the canonical keys used by the
+order-invariant machinery (Claim 1): two balls receive the same
+``canonical_key`` exactly when an order-invariant algorithm is forced to
+behave identically on them.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Mapping, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.local.network import Network
+
+__all__ = ["BallView", "collect_ball", "all_balls"]
+
+#: Balls with at most this many nodes are canonicalised exactly (by searching
+#: over distance-respecting permutations); larger balls fall back to a
+#: Weisfeiler–Lehman hash, which is a sound but potentially coarser key.
+_EXACT_CANONICAL_LIMIT = 9
+
+
+@dataclass(frozen=True)
+class BallView:
+    """An immutable view of the ball ``B_G(v, t)``.
+
+    Attributes
+    ----------
+    center:
+        The node the ball is centred at.
+    radius:
+        The radius ``t``.
+    graph:
+        The ball's graph (nodes at distance ≤ t from the centre, without the
+        edges joining two nodes at distance exactly t).
+    ids:
+        Identity of every node in the ball.
+    inputs:
+        Input value of every node in the ball.
+    outputs:
+        Output value of every node in the ball, when the ball is extracted
+        from an input-output configuration; ``None`` otherwise.
+    distances:
+        Hop distance (in the original graph) from the centre.
+    """
+
+    center: Hashable
+    radius: int
+    graph: nx.Graph
+    ids: Mapping[Hashable, int]
+    inputs: Mapping[Hashable, object]
+    distances: Mapping[Hashable, int]
+    outputs: Optional[Mapping[Hashable, object]] = None
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    def nodes(self) -> list:
+        """Nodes of the ball sorted by identity (deterministic order)."""
+        return sorted(self.graph.nodes(), key=lambda node: self.ids[node])
+
+    def edges(self) -> list:
+        return list(self.graph.edges())
+
+    def __len__(self) -> int:
+        return self.graph.number_of_nodes()
+
+    def __contains__(self, node: Hashable) -> bool:
+        return node in self.graph
+
+    def center_id(self) -> int:
+        return int(self.ids[self.center])
+
+    def center_input(self) -> object:
+        return self.inputs[self.center]
+
+    def center_output(self) -> object:
+        if self.outputs is None:
+            raise ValueError("this ball carries no outputs")
+        return self.outputs[self.center]
+
+    def neighbors(self, node: Hashable) -> list:
+        """Neighbours of ``node`` inside the ball, sorted by identity."""
+        return sorted(self.graph.neighbors(node), key=lambda u: self.ids[u])
+
+    def center_degree(self) -> int:
+        """Degree of the centre inside the ball.
+
+        For ``radius >= 1`` this equals the centre's degree in the host
+        graph, because all of its neighbours are at distance 1 ≤ t.
+        """
+        return self.graph.degree(self.center)
+
+    def boundary(self) -> list:
+        """Nodes at distance exactly ``radius`` from the centre."""
+        return [node for node in self.graph.nodes() if self.distances[node] == self.radius]
+
+    def id_order_pattern(self) -> Tuple[int, ...]:
+        """Rank pattern of the identities, in identity-sorted node order.
+
+        By construction this is simply ``(0, 1, ..., len-1)``; it is exposed
+        for symmetry with :func:`repro.local.identifiers.id_order_pattern`
+        and used when composing canonical keys that must be insensitive to
+        the identity *values*.
+        """
+        nodes = self.nodes()
+        return tuple(range(len(nodes)))
+
+    # ------------------------------------------------------------------ #
+    # Canonical keys
+    # ------------------------------------------------------------------ #
+    def canonical_key(
+        self,
+        ids: str = "order",
+        include_outputs: bool = False,
+    ) -> Tuple:
+        """A hashable key identifying the ball up to isomorphism.
+
+        Parameters
+        ----------
+        ids:
+            ``"order"`` — the key depends on identities only through their
+            relative order (the equivalence classes an *order-invariant*
+            algorithm must respect); ``"values"`` — the key includes the
+            identity values themselves (the equivalence classes a general
+            deterministic algorithm respects); ``"none"`` — identities are
+            ignored entirely (anonymous balls).
+        include_outputs:
+            Whether the outputs (if present) participate in the key, as they
+            must for decision tasks.
+
+        Notes
+        -----
+        Two balls with equal keys are isomorphic as labelled balls (same
+        structure, same centre position, same inputs, and same identity
+        information at the requested granularity).  For balls of at most
+        ``_EXACT_CANONICAL_LIMIT`` nodes the key is exact; beyond that a
+        Weisfeiler–Lehman certificate is used, which never merges balls that
+        an algorithm could distinguish into different keys being unequal —
+        i.e. equal keys may rarely be produced for non-isomorphic large
+        balls, so exactness-critical code (the order-invariant enumeration)
+        only operates on small balls.
+        """
+        if ids not in ("order", "values", "none"):
+            raise ValueError(f"unknown ids mode: {ids!r}")
+        if include_outputs and self.outputs is None:
+            raise ValueError("ball carries no outputs")
+
+        def label_of(node: Hashable) -> Tuple:
+            parts: list = [self.distances[node], repr(self.inputs[node])]
+            if include_outputs:
+                parts.append(repr(self.outputs[node]))  # type: ignore[index]
+            if ids == "values":
+                parts.append(int(self.ids[node]))
+            elif ids == "order":
+                parts.append(self._id_rank(node))
+            return tuple(parts)
+
+        n = self.graph.number_of_nodes()
+        if n <= _EXACT_CANONICAL_LIMIT:
+            return self._exact_canonical_key(label_of)
+        return self._wl_canonical_key(label_of)
+
+    def _id_rank(self, node: Hashable) -> int:
+        ranked = sorted(self.graph.nodes(), key=lambda u: self.ids[u])
+        return ranked.index(node)
+
+    def _exact_canonical_key(self, label_of) -> Tuple:
+        """Exact canonical form: lexicographically smallest adjacency
+        certificate over all orderings that sort nodes by label first."""
+        nodes = list(self.graph.nodes())
+        labels = {node: label_of(node) for node in nodes}
+        # Group nodes by label; permute only within groups to keep the search
+        # small, as permutations across distinct labels can never produce the
+        # same certificate with different content.
+        groups: Dict[Tuple, list] = {}
+        for node in nodes:
+            groups.setdefault(labels[node], []).append(node)
+        sorted_labels = sorted(groups.keys(), key=repr)
+
+        best: Optional[Tuple] = None
+        group_perms = [
+            list(itertools.permutations(groups[lab])) for lab in sorted_labels
+        ]
+        for combo in itertools.product(*group_perms):
+            ordering: list = [node for group in combo for node in group]
+            index = {node: i for i, node in enumerate(ordering)}
+            adjacency = tuple(
+                sorted(
+                    tuple(sorted((index[u], index[v])))
+                    for u, v in self.graph.edges()
+                )
+            )
+            certificate = (
+                tuple(labels[node] for node in ordering),
+                adjacency,
+                index[self.center],
+            )
+            if best is None or certificate < best:
+                best = certificate
+        assert best is not None
+        return ("exact", self.radius, best)
+
+    def _wl_canonical_key(self, label_of) -> Tuple:
+        attributed = nx.Graph()
+        attributed.add_nodes_from(self.graph.nodes())
+        attributed.add_edges_from(self.graph.edges())
+        for node in attributed.nodes():
+            marker = "C" if node == self.center else "-"
+            attributed.nodes[node]["label"] = repr((marker, label_of(node)))
+        digest = nx.weisfeiler_lehman_graph_hash(
+            attributed, node_attr="label", iterations=3
+        )
+        return ("wl", self.radius, self.graph.number_of_nodes(), digest)
+
+    def with_outputs(self, outputs: Mapping[Hashable, object]) -> "BallView":
+        """Attach outputs (restricted to the ball's nodes) to this view."""
+        restricted = {node: outputs[node] for node in self.graph.nodes()}
+        return BallView(
+            center=self.center,
+            radius=self.radius,
+            graph=self.graph,
+            ids=self.ids,
+            inputs=self.inputs,
+            distances=self.distances,
+            outputs=restricted,
+        )
+
+
+def collect_ball(
+    network: Network,
+    center: Hashable,
+    radius: int,
+    outputs: Optional[Mapping[Hashable, object]] = None,
+) -> BallView:
+    """Extract ``B_G(center, radius)`` from a network.
+
+    Implements exactly the paper's definition: the ball contains every node
+    at hop distance at most ``radius`` from the centre, and every edge of the
+    host graph between two such nodes *except* the edges whose two endpoints
+    are both at distance exactly ``radius``.
+    """
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    distances = network.distances_from(center, cutoff=radius)
+    members = set(distances)
+    ball_graph = nx.Graph()
+    ball_graph.add_nodes_from(members)
+    for u, v in network.graph.edges(members):
+        if u in members and v in members:
+            if distances[u] == radius and distances[v] == radius:
+                continue
+            ball_graph.add_edge(u, v)
+
+    ids = {node: network.identity(node) for node in members}
+    inputs = {node: network.input_of(node) for node in members}
+    out = None
+    if outputs is not None:
+        out = {node: outputs[node] for node in members}
+    return BallView(
+        center=center,
+        radius=radius,
+        graph=ball_graph,
+        ids=ids,
+        inputs=inputs,
+        distances=distances,
+        outputs=out,
+    )
+
+
+def all_balls(
+    network: Network,
+    radius: int,
+    outputs: Optional[Mapping[Hashable, object]] = None,
+) -> Dict[Hashable, BallView]:
+    """Collect the radius-``radius`` ball around every node of the network."""
+    return {
+        node: collect_ball(network, node, radius, outputs=outputs)
+        for node in network.nodes()
+    }

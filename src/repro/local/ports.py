@@ -1,0 +1,80 @@
+"""Port numberings.
+
+In message-passing formulations of the LOCAL model, every node of degree ``d``
+has its incident edges labelled with ports ``0 .. d-1``; a node addresses its
+neighbours by port, not by identity (identities are only *learned* through
+messages).  The paper's algorithms never rely on a particular port numbering
+(the LOCAL model is port-numbering oblivious once identities exist), but the
+simulator still needs one to deliver messages deterministically, and anonymous
+variants of the model (referenced in the related-work discussion, [9, 12])
+are only meaningful relative to a port numbering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Tuple
+
+import numpy as np
+
+from repro.local.network import Network
+
+__all__ = ["PortNumbering", "assign_ports"]
+
+
+@dataclass(frozen=True)
+class PortNumbering:
+    """A port numbering of a network.
+
+    ``port_of[(u, v)]`` is the port through which ``u`` reaches its neighbour
+    ``v``; ``neighbor_at[(u, p)]`` is the inverse map.
+    """
+
+    port_of: Dict[Tuple[Hashable, Hashable], int]
+    neighbor_at: Dict[Tuple[Hashable, int], Hashable]
+
+    def port(self, node: Hashable, neighbor: Hashable) -> int:
+        return self.port_of[(node, neighbor)]
+
+    def neighbor(self, node: Hashable, port: int) -> Hashable:
+        return self.neighbor_at[(node, port)]
+
+    def degree(self, node: Hashable) -> int:
+        return sum(1 for (u, _p) in self.neighbor_at if u == node)
+
+    def ports(self, node: Hashable) -> list[int]:
+        return sorted(p for (u, p) in self.neighbor_at if u == node)
+
+
+def assign_ports(
+    network: Network, scheme: str = "by_identity", seed: int = 0
+) -> PortNumbering:
+    """Assign ports around every node.
+
+    Parameters
+    ----------
+    network:
+        The network to number.
+    scheme:
+        ``"by_identity"`` — neighbours sorted by identity get ports
+        ``0, 1, ...`` (deterministic, the default used by the simulator);
+        ``"random"`` — ports are a uniformly random permutation per node
+        (useful to verify that algorithms do not accidentally depend on the
+        numbering).
+    seed:
+        Seed for the ``"random"`` scheme.
+    """
+    if scheme not in ("by_identity", "random"):
+        raise ValueError(f"unknown port-numbering scheme: {scheme!r}")
+    rng = np.random.default_rng(seed)
+    port_of: Dict[Tuple[Hashable, Hashable], int] = {}
+    neighbor_at: Dict[Tuple[Hashable, int], Hashable] = {}
+    for node in network.nodes():
+        neighbors = network.neighbors(node)
+        if scheme == "random" and len(neighbors) > 1:
+            order = rng.permutation(len(neighbors))
+            neighbors = [neighbors[int(i)] for i in order]
+        for port, neighbor in enumerate(neighbors):
+            port_of[(node, neighbor)] = port
+            neighbor_at[(node, port)] = neighbor
+    return PortNumbering(port_of=port_of, neighbor_at=neighbor_at)

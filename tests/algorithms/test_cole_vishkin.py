@@ -1,0 +1,100 @@
+"""Tests for Cole–Vishkin 3-coloring (repro.algorithms.coloring.cole_vishkin)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.coloring.cole_vishkin import (
+    ColeVishkinConstructor,
+    cole_vishkin_three_coloring,
+    oriented_cycle_network,
+)
+from repro.analysis.logstar import cole_vishkin_round_bound
+from repro.core.languages import Configuration
+from repro.core.lcl import ProperColoring
+from repro.graphs.families import cycle_network, path_network
+
+
+class TestOrientedCycle:
+    def test_inputs_are_successor_identities(self):
+        net = oriented_cycle_network(10, seed=1)
+        identities = set(net.ids.values())
+        for node in net.nodes():
+            successor_identity = net.input_of(node)
+            assert successor_identity in identities
+            successor = net.node_with_identity(successor_identity)
+            assert successor in net.neighbors(node)
+
+    def test_orientation_is_a_single_cycle(self):
+        net = oriented_cycle_network(12, seed=2)
+        start = net.nodes()[0]
+        current = start
+        visited = 0
+        while True:
+            current = net.node_with_identity(net.input_of(current))
+            visited += 1
+            if current == start:
+                break
+        assert visited == 12
+
+
+class TestColeVishkin:
+    @pytest.mark.parametrize("n", [3, 5, 16, 64, 257])
+    def test_produces_proper_three_coloring(self, n):
+        net = oriented_cycle_network(n, seed=n)
+        result = cole_vishkin_three_coloring(net)
+        configuration = Configuration(net, result.colors)
+        assert ProperColoring(3).contains(configuration)
+
+    def test_round_count_within_logstar_bound(self):
+        for n in (8, 64, 512, 4096):
+            net = oriented_cycle_network(n, seed=1)
+            result = cole_vishkin_three_coloring(net)
+            assert result.rounds <= cole_vishkin_round_bound(net.max_identity())
+
+    def test_rounds_grow_sublinearly(self):
+        small = cole_vishkin_three_coloring(oriented_cycle_network(16, seed=3))
+        large = cole_vishkin_three_coloring(oriented_cycle_network(2048, seed=3))
+        assert large.rounds <= small.rounds + 3
+        assert large.rounds < 2048 / 4  # wildly below linear
+
+    def test_reduction_iterations_reported(self):
+        net = oriented_cycle_network(32, seed=4)
+        result = cole_vishkin_three_coloring(net)
+        assert result.rounds == result.reduction_iterations + 3
+
+    def test_consecutive_ids_also_work(self):
+        net = oriented_cycle_network(20, ids="consecutive")
+        result = cole_vishkin_three_coloring(net)
+        assert ProperColoring(3).contains(Configuration(net, result.colors))
+
+    def test_rejects_non_cycle(self):
+        with pytest.raises(ValueError):
+            cole_vishkin_three_coloring(path_network(6))
+
+    def test_rejects_missing_orientation(self):
+        with pytest.raises(ValueError, match="successor"):
+            cole_vishkin_three_coloring(cycle_network(6))
+
+    def test_rejects_bogus_orientation(self):
+        net = cycle_network(6)
+        # Point every node at a non-neighbour (identity of the node two hops away).
+        nodes = net.nodes()
+        inputs = {nodes[i]: net.identity(nodes[(i + 3) % 6]) for i in range(6)}
+        with pytest.raises(ValueError):
+            cole_vishkin_three_coloring(net.with_inputs(inputs))
+
+
+class TestConstructorWrapper:
+    def test_constructor_records_rounds(self):
+        net = oriented_cycle_network(64, seed=5)
+        constructor = ColeVishkinConstructor()
+        configuration = constructor.configuration(net)
+        assert constructor.last_rounds is not None
+        assert ProperColoring(3).contains(configuration)
+
+    def test_constructor_is_deterministic(self):
+        net = oriented_cycle_network(32, seed=6)
+        constructor = ColeVishkinConstructor()
+        assert constructor.construct(net) == constructor.construct(net)
+        assert not constructor.randomized

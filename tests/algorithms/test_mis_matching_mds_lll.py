@@ -1,0 +1,151 @@
+"""Tests for Luby MIS, matching, dominating sets, and the LLL resampler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.dominating_set.mis_dominating_set import (
+    MISDominatingSetConstructor,
+    greedy_minimal_dominating_set,
+)
+from repro.algorithms.lll.resampling import (
+    ResamplingLLLConstructor,
+    parallel_resampling_not_all_equal,
+)
+from repro.algorithms.matching.proposal_matching import (
+    ProposalMatchingConstructor,
+    greedy_maximal_matching,
+)
+from repro.algorithms.mis.greedy_mis import GreedyMISConstructor, greedy_mis_by_identity
+from repro.algorithms.mis.luby import LubyMISConstructor
+from repro.core.languages import Configuration
+from repro.core.lcl import (
+    MaximalIndependentSet,
+    MaximalMatching,
+    MinimalDominatingSet,
+    NotAllEqualLLL,
+)
+from repro.graphs.families import cycle_network, grid_network, path_network, star_network
+from repro.graphs.random_graphs import bounded_degree_gnp_network, random_regular_network
+from repro.local.randomness import TapeFactory
+
+NETWORKS = [
+    lambda: cycle_network(17),
+    lambda: path_network(12),
+    lambda: grid_network(4, 4),
+    lambda: star_network(7),
+    lambda: random_regular_network(26, 3, seed=1),
+    lambda: bounded_degree_gnp_network(30, 0.12, max_degree=5, seed=2),
+]
+
+
+class TestGreedyMIS:
+    @pytest.mark.parametrize("factory", NETWORKS)
+    def test_valid_on_all_families(self, factory):
+        network = factory()
+        outputs = greedy_mis_by_identity(network)
+        assert MaximalIndependentSet().contains(Configuration(network, outputs))
+
+    def test_constructor_wrapper(self, small_cycle):
+        configuration = GreedyMISConstructor().configuration(small_cycle)
+        assert MaximalIndependentSet().contains(configuration)
+
+
+class TestLubyMIS:
+    @pytest.mark.parametrize("factory", NETWORKS)
+    def test_valid_on_all_families(self, factory):
+        network = factory()
+        constructor = LubyMISConstructor()
+        configuration = constructor.configuration(network, tape_factory=TapeFactory(3))
+        assert MaximalIndependentSet().contains(configuration)
+
+    def test_different_seeds_can_give_different_sets(self):
+        network = random_regular_network(30, 3, seed=4)
+        constructor = LubyMISConstructor()
+        a = constructor.construct(network, tape_factory=TapeFactory(1))
+        b = constructor.construct(network, tape_factory=TapeFactory(2))
+        # Both must be valid; they are allowed (and overwhelmingly likely) to differ.
+        assert MaximalIndependentSet().contains(Configuration(network, a))
+        assert MaximalIndependentSet().contains(Configuration(network, b))
+
+    def test_round_count_reported_and_modest(self):
+        network = random_regular_network(60, 3, seed=5)
+        constructor = LubyMISConstructor()
+        constructor.construct(network, tape_factory=TapeFactory(6))
+        assert constructor.last_rounds is not None
+        # O(log n) phases of 2 rounds each; 40 rounds is a very generous cap.
+        assert constructor.last_rounds <= 40
+
+
+class TestMatching:
+    @pytest.mark.parametrize("factory", NETWORKS)
+    def test_greedy_reference_valid(self, factory):
+        network = factory()
+        outputs = greedy_maximal_matching(network)
+        assert MaximalMatching().contains(Configuration(network, outputs))
+
+    @pytest.mark.parametrize("factory", NETWORKS)
+    def test_distributed_proposal_matching_valid(self, factory):
+        network = factory()
+        constructor = ProposalMatchingConstructor()
+        configuration = constructor.configuration(network)
+        assert MaximalMatching().contains(configuration)
+
+    def test_matching_outputs_are_symmetric(self):
+        network = grid_network(4, 4)
+        outputs = ProposalMatchingConstructor().construct(network)
+        for node, partner in outputs.items():
+            if partner is not None:
+                other = network.node_with_identity(partner)
+                assert outputs[other] == network.identity(node)
+
+    def test_single_edge_gets_matched(self):
+        network = path_network(2)
+        outputs = ProposalMatchingConstructor().construct(network)
+        assert None not in outputs.values()
+
+
+class TestDominatingSet:
+    @pytest.mark.parametrize("factory", NETWORKS)
+    def test_greedy_reference_valid(self, factory):
+        network = factory()
+        outputs = greedy_minimal_dominating_set(network)
+        assert MinimalDominatingSet().contains(Configuration(network, outputs))
+
+    @pytest.mark.parametrize("factory", NETWORKS[:4])
+    def test_distributed_constructor_valid(self, factory):
+        network = factory()
+        constructor = MISDominatingSetConstructor()
+        configuration = constructor.configuration(network, tape_factory=TapeFactory(7))
+        assert MinimalDominatingSet().contains(configuration)
+
+    def test_rounds_forwarded_from_mis(self, small_grid):
+        constructor = MISDominatingSetConstructor()
+        constructor.construct(small_grid, tape_factory=TapeFactory(8))
+        assert constructor.last_rounds is not None
+
+
+class TestLLLResampling:
+    @pytest.mark.parametrize("factory", NETWORKS)
+    def test_produces_valid_assignment(self, factory):
+        network = factory()
+        bits, iterations = parallel_resampling_not_all_equal(
+            network, tape_factory=TapeFactory(9), max_iterations=200
+        )
+        assert NotAllEqualLLL().contains(Configuration(network, bits))
+        assert iterations <= 200
+
+    def test_outputs_are_bits(self, small_cycle):
+        bits, _ = parallel_resampling_not_all_equal(small_cycle, tape_factory=TapeFactory(10))
+        assert set(bits.values()) <= {0, 1}
+
+    def test_constructor_wrapper_records_iterations(self, cubic_graph):
+        constructor = ResamplingLLLConstructor(max_iterations=150)
+        configuration = constructor.configuration(cubic_graph, tape_factory=TapeFactory(11))
+        assert NotAllEqualLLL().contains(configuration)
+        assert constructor.last_iterations is not None
+
+    def test_zero_iterations_cap_degenerates_to_random_assignment(self, small_cycle):
+        constructor = ResamplingLLLConstructor(max_iterations=0)
+        outputs = constructor.construct(small_cycle, tape_factory=TapeFactory(12))
+        assert set(outputs.values()) <= {0, 1}

@@ -1,0 +1,110 @@
+"""Tests for Monte-Carlo estimation helpers (repro.analysis.estimator)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.estimator import (
+    BernoulliEstimate,
+    estimate_bernoulli,
+    sequential_probability_estimate,
+    wilson_interval,
+)
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        low, high = wilson_interval(30, 100)
+        assert low < 0.3 < high
+
+    def test_bounds_clamped_to_unit_interval(self):
+        low, high = wilson_interval(0, 10)
+        assert low == 0.0
+        assert 0.0 <= high <= 1.0
+        low, high = wilson_interval(10, 10)
+        assert high == 1.0
+
+    def test_width_shrinks_with_more_trials(self):
+        low_small, high_small = wilson_interval(5, 10)
+        low_large, high_large = wilson_interval(500, 1000)
+        assert (high_large - low_large) < (high_small - low_small)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+
+    def test_coverage_is_close_to_nominal(self):
+        # Frequentist sanity check of the interval implementation itself.
+        rng = np.random.default_rng(0)
+        p = 0.37
+        covered = 0
+        repetitions = 300
+        for _ in range(repetitions):
+            successes = int(rng.binomial(200, p))
+            low, high = wilson_interval(successes, 200)
+            covered += int(low <= p <= high)
+        assert covered / repetitions > 0.9
+
+
+class TestBernoulliEstimate:
+    def test_rate_and_half_width(self):
+        estimate = BernoulliEstimate(successes=40, trials=100)
+        assert estimate.rate == 0.4
+        assert 0 < estimate.half_width < 0.2
+
+    def test_compatibility_checks(self):
+        estimate = BernoulliEstimate(successes=60, trials=100)
+        assert estimate.compatible_with(0.6)
+        assert not estimate.compatible_with(0.95)
+        assert estimate.at_least(0.55)
+
+    def test_str_contains_rate(self):
+        assert "0.5000" in str(BernoulliEstimate(successes=5, trials=10))
+
+
+class TestEstimateBernoulli:
+    def test_counts_successes(self):
+        estimate = estimate_bernoulli(lambda trial: trial % 2 == 0, trials=100)
+        assert estimate.successes == 50
+        assert estimate.trials == 100
+
+    def test_invalid_trials(self):
+        with pytest.raises(ValueError):
+            estimate_bernoulli(lambda trial: True, trials=0)
+
+    def test_seed_offsets_trial_indices(self):
+        seen = []
+        estimate_bernoulli(lambda trial: seen.append(trial) or True, trials=3, seed=10)
+        assert seen == [10, 11, 12]
+
+
+class TestSequentialEstimate:
+    def test_stops_early_for_extreme_probabilities(self):
+        estimate = sequential_probability_estimate(lambda trial: True, target_half_width=0.05)
+        assert estimate.rate == 1.0
+        assert estimate.trials < 500
+
+    def test_respects_max_trials(self):
+        rng = np.random.default_rng(1)
+        estimate = sequential_probability_estimate(
+            lambda trial: bool(rng.random() < 0.5),
+            target_half_width=0.001,
+            max_trials=300,
+        )
+        assert estimate.trials == 300
+
+    def test_target_width_validated(self):
+        with pytest.raises(ValueError):
+            sequential_probability_estimate(lambda trial: True, target_half_width=0.7)
+
+    def test_estimate_is_accurate(self):
+        rng = np.random.default_rng(2)
+        estimate = sequential_probability_estimate(
+            lambda trial: bool(rng.random() < 0.25),
+            target_half_width=0.02,
+            max_trials=20_000,
+        )
+        assert estimate.rate == pytest.approx(0.25, abs=0.05)

@@ -1,0 +1,87 @@
+"""Tests for growth-shape classification (repro.analysis.growth)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.growth import (
+    GROWTH_ORDER,
+    classify_growth,
+    fit_growth,
+    grows_no_faster_than,
+)
+from repro.analysis.logstar import log_star
+
+SIZES = [8, 32, 128, 512, 2048, 8192, 32768]
+
+
+class TestFitGrowth:
+    def test_returns_all_candidates(self):
+        fits = fit_growth(SIZES, [1.0] * len(SIZES))
+        assert set(fits) == set(GROWTH_ORDER)
+
+    def test_perfect_linear_series_has_zero_residual(self):
+        ys = [3 * n + 5 for n in SIZES]
+        fits = fit_growth(SIZES, ys)
+        assert fits["linear"].residual == pytest.approx(0.0, abs=1e-6)
+        assert fits["linear"].scale == pytest.approx(3.0, abs=1e-6)
+        assert fits["linear"].offset == pytest.approx(5.0, abs=1e-4)
+
+    def test_predict_roundtrips(self):
+        ys = [2 * math.log2(n) + 1 for n in SIZES]
+        fit = fit_growth(SIZES, ys)["log"]
+        assert fit.predict(1024) == pytest.approx(2 * 10 + 1, abs=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_growth([1, 2], [1, 2])
+        with pytest.raises(ValueError):
+            fit_growth([1, 2, 3], [1, 2])
+        with pytest.raises(ValueError):
+            fit_growth([0, 1, 2], [1, 2, 3])
+
+
+class TestClassifyGrowth:
+    def test_constant_series(self):
+        assert classify_growth(SIZES, [7] * len(SIZES)) == "constant"
+
+    def test_logstar_series(self):
+        ys = [2 * log_star(n) + 3 for n in SIZES]
+        assert classify_growth(SIZES, ys) == "log_star"
+
+    def test_log_series(self):
+        ys = [1.5 * math.log2(n) for n in SIZES]
+        assert classify_growth(SIZES, ys) == "log"
+
+    def test_linear_series(self):
+        ys = [0.25 * n + 2 for n in SIZES]
+        assert classify_growth(SIZES, ys) == "linear"
+
+    def test_sqrt_series(self):
+        ys = [4 * math.sqrt(n) for n in SIZES]
+        assert classify_growth(SIZES, ys) == "sqrt"
+
+
+class TestGrowsNoFasterThan:
+    def test_constant_is_no_faster_than_everything(self):
+        ys = [5] * len(SIZES)
+        for shape in GROWTH_ORDER:
+            assert grows_no_faster_than(SIZES, ys, shape)
+
+    def test_linear_is_faster_than_log(self):
+        ys = [n for n in SIZES]
+        assert not grows_no_faster_than(SIZES, ys, "log")
+        assert grows_no_faster_than(SIZES, ys, "linear")
+
+    def test_logstar_rounds_profile(self):
+        # The shape of a Cole–Vishkin measurement: rounds jump only when
+        # log* of the size does.
+        ys = [3 + log_star(n) for n in SIZES]
+        assert grows_no_faster_than(SIZES, ys, "log_star")
+        assert not grows_no_faster_than(SIZES, [n // 4 for n in SIZES], "log_star")
+
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(ValueError):
+            grows_no_faster_than(SIZES, [1] * len(SIZES), "exponential")

@@ -1,0 +1,69 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.languages import Configuration
+from repro.core.lcl import ProperColoring
+from repro.graphs.families import cycle_network, grid_network, path_network, star_network
+from repro.graphs.random_graphs import random_regular_network
+from repro.local.randomness import TapeFactory
+
+
+@pytest.fixture
+def small_cycle():
+    """A 9-node cycle with consecutive identities (the paper's hard family)."""
+    return cycle_network(9, ids="consecutive")
+
+
+@pytest.fixture
+def small_path():
+    """A 7-node path with consecutive identities."""
+    return path_network(7, ids="consecutive")
+
+
+@pytest.fixture
+def small_grid():
+    """A 4x4 grid (maximum degree 4)."""
+    return grid_network(4, 4)
+
+
+@pytest.fixture
+def small_star():
+    """A star with 5 leaves."""
+    return star_network(5)
+
+
+@pytest.fixture
+def cubic_graph():
+    """A connected random 3-regular graph on 20 nodes (fixed seed)."""
+    return random_regular_network(20, 3, seed=7)
+
+
+@pytest.fixture
+def proper_three_coloring(small_cycle):
+    """A valid 3-coloring configuration of the 9-node cycle."""
+    colors = {node: (index % 3) + 1 for index, node in enumerate(small_cycle.nodes())}
+    return Configuration(small_cycle, colors)
+
+
+@pytest.fixture
+def broken_three_coloring(small_cycle):
+    """A 3-coloring of the 9-node cycle with exactly one conflicting edge."""
+    nodes = small_cycle.nodes()
+    colors = {node: (index % 3) + 1 for index, node in enumerate(nodes)}
+    # Copy a neighbour's color onto node 0, creating a conflict.
+    colors[nodes[0]] = colors[nodes[1]]
+    return Configuration(small_cycle, colors)
+
+
+@pytest.fixture
+def coloring_language():
+    return ProperColoring(3)
+
+
+@pytest.fixture
+def tapes():
+    """A deterministic tape factory for randomized algorithms."""
+    return TapeFactory(12345)

@@ -1,0 +1,131 @@
+"""Tests for construction tasks (repro.core.construction)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.construction import (
+    BallConstructor,
+    MessagePassingConstructor,
+    estimate_success_probability,
+)
+from repro.core.languages import Configuration
+from repro.core.lcl import ProperColoring
+from repro.core.relaxations import eps_slack
+from repro.graphs.families import cycle_network, path_network
+from repro.local.algorithm import FunctionBallAlgorithm, LocalAlgorithm
+from repro.local.randomness import TapeFactory
+
+
+def constant_output_ball_constructor(value, radius=0):
+    return BallConstructor(
+        FunctionBallAlgorithm(lambda ball: value, radius=radius, name=f"const-{value}")
+    )
+
+
+def coin_flip_constructor():
+    return BallConstructor(
+        FunctionBallAlgorithm(
+            lambda ball, tape: tape.bit(), radius=0, randomized=True, name="coin-flip"
+        )
+    )
+
+
+class EchoIdentity(LocalAlgorithm):
+    name = "echo-identity"
+
+    def initial_state(self, ctx):
+        return ctx.identity
+
+    def send(self, state, ctx, rnd):
+        return None
+
+    def receive(self, state, ctx, rnd, inbox):
+        return state
+
+    def finished(self, state, ctx, rnd):
+        return True
+
+    def output(self, state, ctx):
+        return state
+
+
+class TestBallConstructor:
+    def test_construct_covers_all_nodes(self, small_cycle):
+        constructor = constant_output_ball_constructor(7)
+        outputs = constructor.construct(small_cycle)
+        assert set(outputs) == set(small_cycle.nodes())
+        assert set(outputs.values()) == {7}
+
+    def test_configuration_wrapper(self, small_cycle):
+        configuration = constant_output_ball_constructor(1).configuration(small_cycle)
+        assert isinstance(configuration, Configuration)
+        assert configuration.network is small_cycle
+
+    def test_rounds_reports_radius(self):
+        assert constant_output_ball_constructor(0, radius=2).rounds() == 2
+
+    def test_randomized_flag_propagates(self):
+        assert coin_flip_constructor().randomized
+        assert not constant_output_ball_constructor(0).randomized
+
+    def test_randomized_reproducible_with_same_tapes(self, small_cycle):
+        constructor = coin_flip_constructor()
+        a = constructor.construct(small_cycle, tape_factory=TapeFactory(1))
+        b = constructor.construct(small_cycle, tape_factory=TapeFactory(1))
+        c = constructor.construct(small_cycle, tape_factory=TapeFactory(2))
+        assert a == b
+        assert a != c
+
+
+class TestMessagePassingConstructor:
+    def test_runs_algorithm_and_records_rounds(self, small_path):
+        constructor = MessagePassingConstructor(EchoIdentity, rounds=None, name="echo")
+        outputs = constructor.construct(small_path)
+        assert outputs == {node: small_path.identity(node) for node in small_path.nodes()}
+        assert constructor.last_rounds == 0
+
+    def test_fixed_round_budget(self, small_path):
+        constructor = MessagePassingConstructor(EchoIdentity, rounds=3)
+        constructor.construct(small_path)
+        assert constructor.last_rounds == 3
+        assert constructor.rounds() == 3
+
+
+class TestSuccessEstimation:
+    def test_deterministic_constructor_single_trial(self, small_cycle):
+        # Constant color 1 on a cycle is never a proper coloring.
+        constructor = constant_output_ball_constructor(1)
+        estimate = estimate_success_probability(
+            constructor, ProperColoring(3), [small_cycle], trials=500
+        )
+        assert estimate.success_probability == 0.0
+        assert estimate.per_instance[0][0] == 0.0
+
+    def test_success_probability_is_min_over_instances(self):
+        constructor = constant_output_ball_constructor(1)
+        trivially_satisfied = eps_slack(ProperColoring(3), 1.0)  # every config ok
+        estimate = estimate_success_probability(
+            constructor, trivially_satisfied, [cycle_network(5), cycle_network(8)], trials=10
+        )
+        assert estimate.success_probability == 1.0
+        assert estimate.mean_rate == 1.0
+
+    def test_randomized_constructor_rate_matches_theory(self):
+        # On a single-edge path, two independent uniform bits collide with
+        # probability 1/2; "proper coloring" (no palette) succeeds otherwise.
+        network = path_network(2)
+        constructor = coin_flip_constructor()
+        estimate = estimate_success_probability(
+            constructor, ProperColoring(), [network], trials=4000, seed=3
+        )
+        assert estimate.success_probability == pytest.approx(0.5, abs=0.03)
+
+    def test_empty_instance_list_gives_nan(self):
+        estimate = estimate_success_probability(
+            constant_output_ball_constructor(1), ProperColoring(3), [], trials=10
+        )
+        assert math.isnan(estimate.success_probability)
+        assert math.isnan(estimate.mean_rate)

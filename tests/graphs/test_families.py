@@ -1,0 +1,157 @@
+"""Tests for the deterministic graph families (repro.graphs.families)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.families import (
+    balanced_tree_network,
+    caterpillar_network,
+    complete_network,
+    cycle_network,
+    grid_network,
+    hypercube_network,
+    path_network,
+    star_network,
+    torus_network,
+)
+
+
+class TestCycle:
+    def test_structure(self):
+        net = cycle_network(10)
+        assert net.number_of_nodes() == 10
+        assert net.number_of_edges() == 10
+        assert net.max_degree() == 2
+        assert net.is_connected()
+
+    def test_consecutive_ids_follow_cyclic_order(self):
+        net = cycle_network(8, ids="consecutive")
+        # Adjacent nodes carry consecutive identities (except the wrap edge).
+        consecutive_pairs = 0
+        for u, v in net.edges():
+            if abs(net.identity(u) - net.identity(v)) == 1:
+                consecutive_pairs += 1
+        assert consecutive_pairs == 7
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            cycle_network(2)
+
+    def test_id_start(self):
+        net = cycle_network(5, id_start=50)
+        assert sorted(net.ids.values()) == list(range(50, 55))
+
+    def test_shuffled_ids_are_permutation(self):
+        net = cycle_network(12, ids="shuffled", seed=1)
+        assert sorted(net.ids.values()) == list(range(1, 13))
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            cycle_network(5, ids="bogus")
+
+
+class TestPath:
+    def test_structure(self):
+        net = path_network(6)
+        assert net.number_of_edges() == 5
+        assert net.max_degree() == 2
+        degrees = sorted(net.degree(node) for node in net.nodes())
+        assert degrees == [1, 1, 2, 2, 2, 2]
+
+    def test_single_node(self):
+        net = path_network(1)
+        assert net.number_of_nodes() == 1
+        assert net.number_of_edges() == 0
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            path_network(0)
+
+
+class TestGridAndTorus:
+    def test_grid_structure(self):
+        net = grid_network(3, 5)
+        assert net.number_of_nodes() == 15
+        assert net.max_degree() == 4
+        assert net.is_connected()
+
+    def test_grid_edge_count(self):
+        net = grid_network(4, 4)
+        assert net.number_of_edges() == 2 * 4 * 3
+
+    def test_grid_invalid(self):
+        with pytest.raises(ValueError):
+            grid_network(0, 3)
+
+    def test_torus_is_four_regular(self):
+        net = torus_network(4, 5)
+        assert all(net.degree(node) == 4 for node in net.nodes())
+
+    def test_torus_minimum_size(self):
+        with pytest.raises(ValueError):
+            torus_network(2, 5)
+
+
+class TestCompleteAndStar:
+    def test_complete(self):
+        net = complete_network(6)
+        assert net.number_of_edges() == 15
+        assert net.max_degree() == 5
+
+    def test_star(self):
+        net = star_network(7)
+        assert net.number_of_nodes() == 8
+        assert net.max_degree() == 7
+        leaves = [node for node in net.nodes() if net.degree(node) == 1]
+        assert len(leaves) == 7
+
+    def test_star_needs_leaf(self):
+        with pytest.raises(ValueError):
+            star_network(0)
+
+
+class TestTrees:
+    def test_balanced_tree(self):
+        net = balanced_tree_network(2, 3)
+        assert net.number_of_nodes() == 2**4 - 1
+        assert net.number_of_edges() == net.number_of_nodes() - 1
+        assert net.is_connected()
+
+    def test_balanced_tree_invalid(self):
+        with pytest.raises(ValueError):
+            balanced_tree_network(0, 2)
+
+    def test_caterpillar(self):
+        net = caterpillar_network(spine=4, legs_per_node=2)
+        assert net.number_of_nodes() == 4 + 8
+        assert net.max_degree() == 4  # interior spine node: 2 spine + 2 legs
+        assert net.is_connected()
+
+    def test_caterpillar_no_legs_is_path(self):
+        net = caterpillar_network(spine=5, legs_per_node=0)
+        assert net.number_of_nodes() == 5
+        assert net.max_degree() == 2
+
+
+class TestHypercube:
+    def test_structure(self):
+        net = hypercube_network(4)
+        assert net.number_of_nodes() == 16
+        assert all(net.degree(node) == 4 for node in net.nodes())
+
+    def test_odd_dimension_gives_odd_degree(self):
+        net = hypercube_network(3)
+        assert all(net.degree(node) % 2 == 1 for node in net.nodes())
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ValueError):
+            hypercube_network(0)
+
+
+class TestInputs:
+    def test_inputs_forwarded(self):
+        net = cycle_network(4, inputs={0: "a", 2: "b"})
+        assert net.input_of(0) == "a"
+        assert net.input_of(1) == ""
+        assert net.input_of(2) == "b"

@@ -1,0 +1,192 @@
+"""Tests for the proof's graph operations (repro.graphs.operations)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graphs.families import cycle_network, path_network
+from repro.graphs.operations import (
+    disjoint_union,
+    double_subdivide_edge,
+    glue_instances,
+    relabel_disjoint,
+    subdivide_edge,
+)
+
+
+class TestRelabelDisjoint:
+    def test_identity_ranges_disjoint_and_increasing(self):
+        parts = relabel_disjoint([cycle_network(5), cycle_network(6), cycle_network(4)])
+        previous_max = 0
+        for part in parts:
+            values = sorted(part.ids.values())
+            assert values[0] > previous_max
+            previous_max = values[-1]
+
+    def test_relative_order_preserved(self):
+        original = cycle_network(6, ids="shuffled", seed=3)
+        [relabelled] = relabel_disjoint([original])
+        original_order = sorted(original.nodes(), key=original.identity)
+        relabelled_order = sorted(relabelled.nodes(), key=relabelled.identity)
+        # Node objects become (index, old identity); the order must match.
+        assert [node[1] for node in relabelled_order] == [
+            original.identity(node) for node in original_order
+        ]
+
+    def test_inputs_preserved(self):
+        original = cycle_network(4, inputs={0: "in"})
+        [relabelled] = relabel_disjoint([original])
+        marked = [node for node in relabelled.nodes() if relabelled.input_of(node) == "in"]
+        assert len(marked) == 1
+
+
+class TestDisjointUnion:
+    def test_sizes_add_up(self):
+        union = disjoint_union([cycle_network(5), path_network(4)])
+        assert union.number_of_nodes() == 9
+        assert union.number_of_edges() == 5 + 3
+
+    def test_union_is_disconnected(self):
+        union = disjoint_union([cycle_network(5), cycle_network(5)])
+        assert not union.is_connected()
+        assert len(union.connected_components()) == 2
+
+    def test_identity_collision_detected_without_relabel(self):
+        with pytest.raises(ValueError):
+            disjoint_union([cycle_network(5), path_network(4)], relabel=False)
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            disjoint_union([])
+
+    def test_single_network_roundtrip(self):
+        union = disjoint_union([cycle_network(5)])
+        assert union.number_of_nodes() == 5
+        assert union.number_of_edges() == 5
+
+
+class TestSubdivision:
+    def test_single_subdivision(self):
+        net = path_network(3)
+        edge = net.edges()[0]
+        out = subdivide_edge(net, edge, new_node="m", new_identity=100)
+        assert out.number_of_nodes() == 4
+        assert out.number_of_edges() == 3
+        assert out.degree("m") == 2
+        assert not out.graph.has_edge(*edge)
+
+    def test_subdivision_requires_existing_edge(self):
+        net = path_network(4)
+        nodes = net.nodes()
+        with pytest.raises(ValueError):
+            subdivide_edge(net, (nodes[0], nodes[3]), "m", 99)
+
+    def test_subdivision_rejects_existing_identity(self):
+        net = path_network(3)
+        with pytest.raises(ValueError):
+            subdivide_edge(net, net.edges()[0], "m", new_identity=1)
+
+    def test_subdivision_rejects_existing_node(self):
+        net = path_network(3)
+        with pytest.raises(ValueError):
+            subdivide_edge(net, net.edges()[0], net.nodes()[2], 99)
+
+    def test_double_subdivision_structure(self):
+        net = cycle_network(5)
+        a, b = net.edges()[0]
+        out = double_subdivide_edge(net, (a, b), "v", "w", 100, 101)
+        assert out.number_of_nodes() == 7
+        assert out.number_of_edges() == 7
+        assert out.graph.has_edge(a, "v")
+        assert out.graph.has_edge("v", "w")
+        assert out.graph.has_edge("w", b)
+        assert not out.graph.has_edge(a, b)
+        # Degrees of the original endpoints are unchanged.
+        assert out.degree(a) == net.degree(a)
+        assert out.degree(b) == net.degree(b)
+
+
+class TestGlue:
+    def make_instances(self, count=3, size=8):
+        return [cycle_network(size, ids="consecutive") for _ in range(count)]
+
+    def test_result_is_connected(self):
+        instances = self.make_instances()
+        anchors = [net.nodes()[0] for net in instances]
+        glued = glue_instances(instances, anchors)
+        assert glued.network.is_connected()
+
+    def test_node_and_edge_counts(self):
+        instances = self.make_instances(count=3, size=8)
+        anchors = [net.nodes()[0] for net in instances]
+        glued = glue_instances(instances, anchors)
+        # Each instance contributes its nodes plus two subdivision nodes.
+        assert glued.network.number_of_nodes() == 3 * 8 + 3 * 2
+        # Edges: original 8 per cycle, +2 per double subdivision, +1 gluing
+        # edge per instance (cyclically).
+        assert glued.network.number_of_edges() == 3 * 8 + 3 * 2 + 3
+
+    def test_degree_bound_is_max_of_three_and_original(self):
+        instances = self.make_instances()
+        anchors = [net.nodes()[0] for net in instances]
+        glued = glue_instances(instances, anchors)
+        assert glued.network.max_degree() == 3
+        # The inserted nodes carry degree 3 exactly.
+        for v_node, w_node in glued.subdivision_nodes:
+            assert glued.network.degree(v_node) == 3
+            assert glued.network.degree(w_node) == 3
+
+    def test_anchor_degrees_unchanged(self):
+        instances = self.make_instances()
+        anchors = [net.nodes()[2] for net in instances]
+        glued = glue_instances(instances, anchors)
+        for anchor in glued.anchor_nodes:
+            assert glued.network.degree(anchor) == 2
+
+    def test_identities_remain_distinct(self):
+        instances = self.make_instances()
+        anchors = [net.nodes()[0] for net in instances]
+        glued = glue_instances(instances, anchors)
+        values = list(glued.network.ids.values())
+        assert len(values) == len(set(values))
+
+    def test_instance_nodes_partition_original_content(self):
+        instances = self.make_instances(count=2, size=6)
+        anchors = [net.nodes()[0] for net in instances]
+        glued = glue_instances(instances, anchors)
+        total = sum(len(nodes) for nodes in glued.instance_nodes)
+        assert total == 12
+        assert glued.instance_nodes[0].isdisjoint(glued.instance_nodes[1])
+
+    def test_needs_at_least_two_instances(self):
+        [only] = self.make_instances(count=1)
+        with pytest.raises(ValueError):
+            glue_instances([only], [only.nodes()[0]])
+
+    def test_anchor_must_belong_to_instance(self):
+        instances = self.make_instances(count=2)
+        with pytest.raises(ValueError):
+            glue_instances(instances, ["nonexistent", instances[1].nodes()[0]])
+
+    def test_anchor_count_must_match(self):
+        instances = self.make_instances(count=2)
+        with pytest.raises(ValueError):
+            glue_instances(instances, [instances[0].nodes()[0]])
+
+    def test_planarity_preserved_for_planar_instances(self):
+        # Section 5 notes the construction preserves planarity; cycles are
+        # planar and the glued chain of cycles remains planar.
+        instances = self.make_instances(count=3, size=6)
+        anchors = [net.nodes()[0] for net in instances]
+        glued = glue_instances(instances, anchors)
+        is_planar, _embedding = nx.check_planarity(glued.network.graph)
+        assert is_planar
+
+    def test_filler_input_applied(self):
+        instances = self.make_instances(count=2)
+        anchors = [net.nodes()[0] for net in instances]
+        glued = glue_instances(instances, anchors, filler_input="glue")
+        for v_node, w_node in glued.subdivision_nodes:
+            assert glued.network.input_of(v_node) == "glue"
+            assert glued.network.input_of(w_node) == "glue"

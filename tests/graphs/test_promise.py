@@ -1,0 +1,84 @@
+"""Tests for the F_k promise (repro.graphs.promise)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.families import cycle_network, star_network
+from repro.graphs.promise import PromiseFk, label_size, satisfies_promise, violations_of_promise
+from repro.graphs.operations import disjoint_union
+
+
+class TestLabelSize:
+    def test_empty_labels(self):
+        assert label_size(None) == 0
+        assert label_size("") == 0
+
+    def test_bit_strings_measured_by_length(self):
+        assert label_size("0101") == 4
+
+    def test_general_strings_eight_bits_per_char(self):
+        assert label_size("ab") == 16
+
+    def test_bool_is_one_bit(self):
+        assert label_size(True) == 1
+        assert label_size(False) == 1
+
+    def test_int_bit_length(self):
+        assert label_size(1) == 1
+        assert label_size(7) == 3
+        assert label_size(8) == 4
+
+    def test_tuple_sums_members(self):
+        assert label_size((3, "01")) == 2 + 2
+
+    def test_other_objects_fall_back_to_repr(self):
+        assert label_size(1.5) == 8 * len(repr(1.5))
+
+
+class TestPromiseFk:
+    def test_cycle_satisfies_small_k(self):
+        net = cycle_network(10)
+        assert satisfies_promise(net, k=3)
+
+    def test_degree_violation_detected(self):
+        net = star_network(5)
+        report = violations_of_promise(net, k=3)
+        assert "degree" in report
+        assert len(report["degree"]) == 1  # only the centre exceeds degree 3
+
+    def test_input_size_violation_detected(self):
+        net = cycle_network(5, inputs={0: "0" * 10})
+        report = violations_of_promise(net, k=4)
+        assert report["input"] == [0]
+
+    def test_output_violation_detected(self):
+        net = cycle_network(5)
+        outputs = {node: 0 for node in net.nodes()}
+        outputs[net.nodes()[2]] = 2**10  # 11-bit output
+        report = violations_of_promise(net, k=4, outputs=outputs)
+        assert report["output"] == [net.nodes()[2]]
+
+    def test_connectivity_requirement(self):
+        union = disjoint_union([cycle_network(4), cycle_network(5)])
+        assert not satisfies_promise(union, k=3, require_connected=True)
+        assert satisfies_promise(union, k=3, require_connected=False)
+
+    def test_relaxed_to_disconnected(self):
+        promise = PromiseFk(3, require_connected=True)
+        relaxed = promise.relaxed_to_disconnected()
+        assert relaxed.k == 3
+        assert not relaxed.require_connected
+
+    def test_admits_gluing_requires_k_above_two(self):
+        assert PromiseFk(3).admits_gluing()
+        assert not PromiseFk(2).admits_gluing()
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            PromiseFk(-1)
+
+    def test_check_network_equivalent_to_empty_violations(self):
+        net = cycle_network(6)
+        promise = PromiseFk(2)
+        assert promise.check_network(net) == (not promise.violations(net))

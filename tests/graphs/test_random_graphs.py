@@ -1,0 +1,78 @@
+"""Tests for the random graph families (repro.graphs.random_graphs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.random_graphs import (
+    bounded_degree_gnp_network,
+    random_regular_network,
+    random_tree_network,
+)
+
+
+class TestRandomRegular:
+    def test_degree_and_connectivity(self):
+        net = random_regular_network(24, 3, seed=0)
+        assert all(net.degree(node) == 3 for node in net.nodes())
+        assert net.is_connected()
+
+    def test_reproducible(self):
+        a = random_regular_network(20, 3, seed=5)
+        b = random_regular_network(20, 3, seed=5)
+        assert set(map(frozenset, a.edges())) == set(map(frozenset, b.edges()))
+
+    def test_odd_product_rejected(self):
+        with pytest.raises(ValueError):
+            random_regular_network(7, 3)
+
+    def test_degree_must_be_below_n(self):
+        with pytest.raises(ValueError):
+            random_regular_network(4, 4)
+
+    def test_disconnected_allowed_when_not_required(self):
+        net = random_regular_network(10, 2, seed=1, require_connected=False)
+        assert all(net.degree(node) == 2 for node in net.nodes())
+
+
+class TestBoundedDegreeGnp:
+    def test_respects_degree_bound(self):
+        net = bounded_degree_gnp_network(60, 0.2, max_degree=4, seed=2)
+        assert net.max_degree() <= 4
+
+    def test_connect_links_components_when_possible(self):
+        net = bounded_degree_gnp_network(40, 0.01, max_degree=5, seed=3, connect=True)
+        assert net.is_connected()
+
+    def test_probability_validated(self):
+        with pytest.raises(ValueError):
+            bounded_degree_gnp_network(10, 1.5, max_degree=3)
+
+    def test_degree_validated(self):
+        with pytest.raises(ValueError):
+            bounded_degree_gnp_network(10, 0.5, max_degree=0)
+
+    def test_reproducible(self):
+        a = bounded_degree_gnp_network(30, 0.1, max_degree=4, seed=9)
+        b = bounded_degree_gnp_network(30, 0.1, max_degree=4, seed=9)
+        assert set(map(frozenset, a.edges())) == set(map(frozenset, b.edges()))
+
+
+class TestRandomTree:
+    def test_is_tree(self):
+        net = random_tree_network(25, seed=4)
+        assert net.number_of_edges() == 24
+        assert net.is_connected()
+
+    def test_tiny_trees(self):
+        assert random_tree_network(1).number_of_edges() == 0
+        assert random_tree_network(2).number_of_edges() == 1
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            random_tree_network(0)
+
+    def test_reproducible(self):
+        a = random_tree_network(15, seed=8)
+        b = random_tree_network(15, seed=8)
+        assert set(map(frozenset, a.edges())) == set(map(frozenset, b.edges()))

@@ -1,0 +1,139 @@
+"""Integration tests: every experiment of the harness, at toy scale.
+
+These exercise the same code paths as the full benchmark harness
+(``benchmarks/``), with workloads small enough to run in seconds.  Where a
+verdict is statistically robust even at toy scale we assert
+``matches_paper``; where the paper's claim only emerges at larger sizes (E2's
+concentration, for instance) we assert the structural properties of the rows
+instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.experiments import (
+    ALL_EXPERIMENTS,
+    experiment_e1_amos_decider,
+    experiment_e2_eps_slack_random_coloring,
+    experiment_e3_resilient_lower_bound,
+    experiment_e4_logstar_coloring,
+    experiment_e5_resilient_decider,
+    experiment_e6_error_amplification,
+    experiment_e7_separations,
+    experiment_e8_slack_vs_resilient,
+    experiment_e9_far_acceptance,
+    experiment_e10_baselines,
+)
+from repro.harness.reporting import render_experiment
+
+
+class TestExperimentRegistry:
+    def test_all_ten_experiments_registered(self):
+        assert set(ALL_EXPERIMENTS) == {f"E{i}" for i in range(1, 11)}
+
+    def test_registry_points_to_the_module_functions(self):
+        assert ALL_EXPERIMENTS["E1"] is experiment_e1_amos_decider
+        assert ALL_EXPERIMENTS["E10"] is experiment_e10_baselines
+
+
+class TestE1Amos:
+    def test_small_scale_matches(self):
+        result = experiment_e1_amos_decider(sizes=(9,), trials=600, seed=1)
+        assert result.matches_paper
+        assert len(result.rows) == 2 * 1 * 4  # two graph kinds, one size, four counts
+        assert render_experiment(result)  # renders without error
+
+
+class TestE2EpsSlack:
+    def test_small_scale_rows_and_mean_fraction(self):
+        result = experiment_e2_eps_slack_random_coloring(
+            sizes=(30, 90), eps_values=(0.75,), trials=80, seed=2
+        )
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert 0.0 <= row["success_probability"] <= 1.0
+            assert abs(row["mean_bad_fraction"] - row["expected_bad_fraction"]) < 0.15
+        # With a generous slack of 0.75 even small cycles succeed almost surely.
+        assert all(row["success_probability"] > 0.8 for row in result.rows)
+
+    def test_default_verdict_criterion_applies_to_largest_size_only(self):
+        result = experiment_e2_eps_slack_random_coloring(
+            sizes=(60, 120), eps_values=(0.75,), trials=80, seed=3
+        )
+        assert result.matches_paper
+
+
+class TestE3ResilientLowerBound:
+    def test_small_scale_matches(self):
+        result = experiment_e3_resilient_lower_bound(n=15, radii=(0, 1), f_values=(1, 2))
+        assert result.matches_paper
+        radius_one = [row for row in result.rows if row["radius"] == 1][0]
+        assert radius_one["algorithms"] == 27
+        assert radius_one["min_bad_balls"] > 2
+        assert radius_one["monochromatic_core"] is True
+
+
+class TestE4LogStar:
+    def test_small_scale_matches(self):
+        result = experiment_e4_logstar_coloring(sizes=(8, 64, 1024), seed=4)
+        assert result.matches_paper
+        rounds = result.column("rounds")
+        assert rounds[-1] - rounds[0] <= 3
+        assert all(row["proper"] for row in result.rows)
+
+
+class TestE5ResilientDecider:
+    def test_small_scale_matches(self):
+        result = experiment_e5_resilient_decider(f_values=(1, 2), n=24, trials=800, seed=5)
+        assert result.matches_paper
+        for row in result.rows:
+            assert abs(row["acceptance"] - row["theoretical_acceptance"]) < 0.08
+            assert row["success_probability"] > 0.5
+
+
+class TestE6Amplification:
+    def test_small_scale_matches(self):
+        result = experiment_e6_error_amplification(
+            q=0.08, p=0.8, instance_size=8, nu_values=(1, 3), trials=150, seed=6
+        )
+        assert result.matches_paper
+        acceptances = [row["union_acceptance"] for row in result.rows[:-1]]
+        assert acceptances == sorted(acceptances, reverse=True)
+        # The final row applies Eq. (3) and must push membership below r = 0.5.
+        assert result.rows[-1]["union_membership"] < 0.5
+
+
+class TestE7Separations:
+    def test_small_scale_matches(self):
+        result = experiment_e7_separations(n=15, deterministic_radius=1, trials=600, seed=7)
+        assert result.matches_paper
+        by_language = {row["language"]: row for row in result.rows}
+        assert by_language["3-coloring"]["decidable_in_O1"] is True
+        assert by_language["3-coloring"]["constructible_in_O1"] is False
+        assert by_language["majority"]["constructible_in_O1"] is True
+        assert by_language["amos"]["decidable_in_O1"] is False
+
+
+class TestE8SlackVsResilient:
+    def test_small_scale_matches(self):
+        result = experiment_e8_slack_vs_resilient(n=15, eps=0.75, f_values=(1, 2), trials=120, seed=8)
+        assert result.matches_paper
+        slack_rows = [row for row in result.rows if row["relaxation"].startswith("eps")]
+        resilient_rows = [row for row in result.rows if row["relaxation"].startswith("f-")]
+        assert all(row["success_probability"] > 0.5 for row in slack_rows)
+        assert all(not row["solvable_in_O1"] for row in resilient_rows)
+
+
+class TestE9FarAcceptance:
+    def test_small_scale_matches(self):
+        result = experiment_e9_far_acceptance(q=0.3, p=0.8, instance_size=10, trials=150, seed=9)
+        assert result.matches_paper
+        assert all(0.0 <= row["far_acceptance"] <= 1.0 for row in result.rows)
+
+
+class TestE10Baselines:
+    def test_small_scale_matches(self):
+        result = experiment_e10_baselines(sizes=(20, 40), degree=3, runs=2, seed=10)
+        assert result.matches_paper
+        assert all(row["luby_valid"] and row["matching_valid"] for row in result.rows)

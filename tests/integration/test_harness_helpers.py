@@ -1,0 +1,86 @@
+"""Tests for the workload helpers of the experiment harness
+(repro.harness.experiments)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.languages import Amos
+from repro.core.lcl import ProperColoring
+from repro.harness.experiments import (
+    _amos_configuration,
+    _cycle_coloring_with_bad_balls,
+    _toy_all_zeros_language,
+    _toy_faulty_constructor,
+    _toy_noisy_decider,
+)
+from repro.graphs.families import cycle_network, path_network
+from repro.local.randomness import TapeFactory
+
+
+class TestAmosConfigurations:
+    @pytest.mark.parametrize("selected", [0, 1, 2, 3, 5])
+    def test_exact_number_of_selected_nodes(self, selected):
+        network = cycle_network(20)
+        configuration = _amos_configuration(network, selected)
+        assert len(configuration.selected_nodes()) == selected
+
+    def test_membership_follows_count(self):
+        network = path_network(10)
+        assert Amos().contains(_amos_configuration(network, 1))
+        assert not Amos().contains(_amos_configuration(network, 2))
+
+    def test_selected_nodes_are_spread_apart(self):
+        network = cycle_network(30)
+        configuration = _amos_configuration(network, 3)
+        selected = configuration.selected_nodes()
+        distances = [
+            configuration.network.distance(selected[i], selected[j])
+            for i in range(3)
+            for j in range(i + 1, 3)
+        ]
+        assert min(distances) >= 5
+
+    def test_tiny_graph_still_gets_requested_count(self):
+        network = path_network(4)
+        configuration = _amos_configuration(network, 3)
+        assert len(configuration.selected_nodes()) == 3
+
+
+class TestPlantedBadBalls:
+    @pytest.mark.parametrize("bad", [0, 2, 4, 8])
+    def test_exact_bad_ball_count(self, bad):
+        configuration = _cycle_coloring_with_bad_balls(24, bad)
+        assert ProperColoring(3).violation_count(configuration) == bad
+
+    def test_odd_bad_ball_count_rejected(self):
+        with pytest.raises(ValueError):
+            _cycle_coloring_with_bad_balls(24, 3)
+
+    def test_cycle_length_must_be_divisible_by_three(self):
+        with pytest.raises(ValueError):
+            _cycle_coloring_with_bad_balls(20, 2)
+
+
+class TestToyDerandomizationIngredients:
+    def test_language_counts_nonzero_outputs(self):
+        language = _toy_all_zeros_language()
+        network = cycle_network(6)
+        from repro.core.languages import Configuration
+
+        outputs = {node: 0 for node in network.nodes()}
+        assert language.contains(Configuration(network, outputs))
+        outputs[network.nodes()[0]] = 1
+        assert language.violation_count(Configuration(network, outputs)) == 1
+
+    def test_constructor_corruption_rate(self):
+        constructor = _toy_faulty_constructor(0.5)
+        network = cycle_network(60)
+        outputs = constructor.construct(network, tape_factory=TapeFactory(3))
+        ones = sum(outputs.values())
+        assert 15 <= ones <= 45  # around half, very generous band
+
+    def test_decider_guarantee_attribute(self):
+        decider = _toy_noisy_decider(0.75)
+        assert decider.guarantee == 0.75
+        assert decider.randomized

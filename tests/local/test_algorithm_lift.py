@@ -1,0 +1,100 @@
+"""Tests that ball algorithms and their message-passing lifts agree.
+
+This validates the simulator against the defining equivalence of the LOCAL
+model (Section 2.1.1 of the paper): a t-round algorithm is the same thing as
+a map from radius-t balls to outputs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.families import cycle_network, grid_network, path_network, star_network
+from repro.graphs.random_graphs import random_regular_network
+from repro.local.algorithm import FunctionBallAlgorithm, ball_algorithm_to_local
+from repro.local.randomness import TapeFactory
+from repro.local.simulator import Simulator, run_ball_algorithm
+
+
+def identity_sum_algorithm(radius: int) -> FunctionBallAlgorithm:
+    """Sum of all identities in the ball — sensitive to exactly the ball content."""
+    return FunctionBallAlgorithm(
+        lambda ball: sum(ball.ids[node] for node in ball.graph.nodes()),
+        radius=radius,
+        name=f"identity-sum-r{radius}",
+    )
+
+
+def edge_count_algorithm(radius: int) -> FunctionBallAlgorithm:
+    """Number of edges of the ball — sensitive to the excluded boundary edges."""
+    return FunctionBallAlgorithm(
+        lambda ball: ball.graph.number_of_edges(),
+        radius=radius,
+        name=f"edge-count-r{radius}",
+    )
+
+
+NETWORK_FACTORIES = [
+    lambda: cycle_network(11, ids="shuffled", seed=1),
+    lambda: path_network(8, ids="shuffled", seed=2),
+    lambda: grid_network(3, 4, ids="shuffled", seed=3),
+    lambda: star_network(6, ids="shuffled", seed=4),
+    lambda: random_regular_network(16, 3, seed=5),
+]
+
+
+class TestLiftAgreement:
+    @pytest.mark.parametrize("factory", NETWORK_FACTORIES)
+    @pytest.mark.parametrize("radius", [0, 1, 2])
+    def test_identity_sum_agrees(self, factory, radius):
+        network = factory()
+        algorithm = identity_sum_algorithm(radius)
+        direct = run_ball_algorithm(network, algorithm)
+        lifted = Simulator(network).run(ball_algorithm_to_local(algorithm))
+        direct_by_id = {network.identity(node): value for node, value in direct.items()}
+        lifted_by_id = {network.identity(node): value for node, value in lifted.outputs.items()}
+        assert direct_by_id == lifted_by_id
+
+    @pytest.mark.parametrize("factory", NETWORK_FACTORIES)
+    @pytest.mark.parametrize("radius", [1, 2])
+    def test_edge_count_agrees(self, factory, radius):
+        # Edge counts are the sharpest test of the "exclude edges between
+        # distance-exactly-t nodes" rule: any discrepancy in the reconstructed
+        # ball shows up here.
+        network = factory()
+        algorithm = edge_count_algorithm(radius)
+        direct = run_ball_algorithm(network, algorithm)
+        lifted = Simulator(network).run(ball_algorithm_to_local(algorithm))
+        direct_by_id = {network.identity(node): value for node, value in direct.items()}
+        lifted_by_id = {network.identity(node): value for node, value in lifted.outputs.items()}
+        assert direct_by_id == lifted_by_id
+
+    def test_lift_uses_exactly_radius_rounds(self):
+        network = cycle_network(10)
+        algorithm = identity_sum_algorithm(2)
+        result = Simulator(network).run(ball_algorithm_to_local(algorithm))
+        assert result.rounds == 2
+
+    def test_lift_of_zero_round_algorithm_needs_no_communication(self):
+        network = cycle_network(6)
+        algorithm = identity_sum_algorithm(0)
+        result = Simulator(network).run(ball_algorithm_to_local(algorithm))
+        assert result.rounds == 0
+        assert result.messages_sent == 0
+
+    def test_randomized_ball_algorithm_gets_tape(self):
+        network = cycle_network(7)
+        algorithm = FunctionBallAlgorithm(
+            lambda ball, tape: tape.randint(0, 1_000_000),
+            radius=0,
+            randomized=True,
+            name="random-output",
+        )
+        direct = run_ball_algorithm(network, algorithm, tape_factory=TapeFactory(3))
+        lifted = Simulator(network, tape_factory=TapeFactory(3)).run(
+            ball_algorithm_to_local(algorithm)
+        )
+        direct_by_id = {network.identity(node): value for node, value in direct.items()}
+        lifted_by_id = {network.identity(node): value for node, value in lifted.outputs.items()}
+        # Same master seed and same identities ⇒ same private coins on both paths.
+        assert direct_by_id == lifted_by_id

@@ -1,0 +1,182 @@
+"""Tests for ball extraction and canonical keys (repro.local.ball)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graphs.families import cycle_network, grid_network, path_network, star_network
+from repro.local.ball import BallView, all_balls, collect_ball
+from repro.local.identifiers import order_preserving_relabel
+from repro.local.network import Network
+
+
+class TestCollectBall:
+    def test_radius_zero_is_single_node(self, small_cycle):
+        node = small_cycle.nodes()[0]
+        ball = collect_ball(small_cycle, node, 0)
+        assert len(ball) == 1
+        assert ball.edges() == []
+        assert ball.center == node
+
+    def test_radius_one_on_cycle(self, small_cycle):
+        node = small_cycle.nodes()[4]
+        ball = collect_ball(small_cycle, node, 1)
+        assert len(ball) == 3
+        # Edges between the two distance-1 nodes do not exist on a cycle of
+        # length 9, and edges between distance-exactly-1 nodes are excluded
+        # anyway, so the ball is a path centred at the node.
+        assert ball.graph.degree(node) == 2
+
+    def test_excludes_edges_between_boundary_nodes(self):
+        # Triangle: radius-1 ball around any node contains all three nodes but
+        # NOT the edge joining the two boundary (distance-1) nodes.
+        net = Network(nx.complete_graph(3))
+        node = net.nodes()[0]
+        ball = collect_ball(net, node, 1)
+        assert len(ball) == 3
+        assert ball.graph.number_of_edges() == 2
+        boundary = set(ball.boundary())
+        assert len(boundary) == 2
+        assert not ball.graph.has_edge(*boundary)
+
+    def test_keeps_edges_with_one_interior_endpoint(self):
+        net = grid_network(3, 3)
+        center = net.nodes()[4]  # middle of the grid
+        ball = collect_ball(net, center, 1)
+        # 1 + 4 nodes, 4 edges from the centre, no rim edges.
+        assert len(ball) == 5
+        assert ball.graph.number_of_edges() == 4
+
+    def test_radius_larger_than_graph_covers_everything(self, small_path):
+        node = small_path.nodes()[0]
+        ball = collect_ball(small_path, node, 100)
+        assert len(ball) == small_path.number_of_nodes()
+        assert ball.graph.number_of_edges() == small_path.number_of_edges()
+
+    def test_distances_match_network(self, small_grid):
+        node = small_grid.nodes()[0]
+        ball = collect_ball(small_grid, node, 2)
+        for member in ball.graph.nodes():
+            assert ball.distances[member] == small_grid.distance(node, member)
+
+    def test_negative_radius_rejected(self, small_cycle):
+        with pytest.raises(ValueError):
+            collect_ball(small_cycle, small_cycle.nodes()[0], -1)
+
+    def test_outputs_attached_and_restricted(self, small_cycle):
+        outputs = {node: index for index, node in enumerate(small_cycle.nodes())}
+        node = small_cycle.nodes()[3]
+        ball = collect_ball(small_cycle, node, 1, outputs=outputs)
+        assert ball.center_output() == 3
+        assert set(ball.outputs) == set(ball.graph.nodes())
+
+    def test_all_balls_covers_every_node(self, small_cycle):
+        balls = all_balls(small_cycle, 1)
+        assert set(balls) == set(small_cycle.nodes())
+        assert all(ball.center == node for node, ball in balls.items())
+
+
+class TestBallViewAccessors:
+    def test_center_id_and_input(self):
+        net = path_network(3, inputs={1: "mid"})
+        ball = collect_ball(net, 1, 1)
+        assert ball.center_id() == net.identity(1)
+        assert ball.center_input() == "mid"
+
+    def test_center_output_requires_outputs(self, small_cycle):
+        ball = collect_ball(small_cycle, small_cycle.nodes()[0], 1)
+        with pytest.raises(ValueError):
+            ball.center_output()
+
+    def test_nodes_sorted_by_identity(self, small_cycle):
+        ball = collect_ball(small_cycle, small_cycle.nodes()[4], 1)
+        ids = [ball.ids[node] for node in ball.nodes()]
+        assert ids == sorted(ids)
+
+    def test_center_degree_matches_graph_degree(self, small_star):
+        center = small_star.nodes()[0]
+        ball = collect_ball(small_star, center, 1)
+        assert ball.center_degree() == small_star.degree(center)
+
+    def test_boundary(self, small_path):
+        nodes = small_path.nodes()
+        ball = collect_ball(small_path, nodes[3], 2)
+        boundary_ids = {ball.ids[node] for node in ball.boundary()}
+        assert boundary_ids == {small_path.identity(nodes[1]), small_path.identity(nodes[5])}
+
+    def test_with_outputs(self, small_cycle):
+        outputs = {node: 1 for node in small_cycle.nodes()}
+        ball = collect_ball(small_cycle, small_cycle.nodes()[0], 1)
+        enriched = ball.with_outputs(outputs)
+        assert enriched.center_output() == 1
+        assert set(enriched.outputs) == set(ball.graph.nodes())
+
+
+class TestCanonicalKeys:
+    def test_same_structure_same_key_order_mode(self):
+        a = cycle_network(9, ids="consecutive")
+        b = cycle_network(9, ids="consecutive", id_start=100)
+        ball_a = collect_ball(a, a.nodes()[4], 1)
+        ball_b = collect_ball(b, b.nodes()[4], 1)
+        assert ball_a.canonical_key(ids="order") == ball_b.canonical_key(ids="order")
+
+    def test_value_mode_distinguishes_id_values(self):
+        a = cycle_network(9, ids="consecutive")
+        b = cycle_network(9, ids="consecutive", id_start=100)
+        ball_a = collect_ball(a, a.nodes()[4], 1)
+        ball_b = collect_ball(b, b.nodes()[4], 1)
+        assert ball_a.canonical_key(ids="values") != ball_b.canonical_key(ids="values")
+
+    def test_key_detects_structural_difference(self):
+        cycle = cycle_network(9)
+        star = star_network(2)  # path of 3 nodes with centre in the middle
+        ball_cycle = collect_ball(cycle, cycle.nodes()[0], 1)
+        ball_star_leaf = collect_ball(star, star.nodes()[1], 1)
+        assert ball_cycle.canonical_key(ids="none") != ball_star_leaf.canonical_key(ids="none")
+
+    def test_key_depends_on_inputs(self):
+        base = path_network(3)
+        with_input = base.with_inputs({1: "special"})
+        ball_plain = collect_ball(base, 1, 1)
+        ball_marked = collect_ball(with_input, 1, 1)
+        assert ball_plain.canonical_key() != ball_marked.canonical_key()
+
+    def test_key_depends_on_outputs_when_requested(self, small_cycle):
+        node = small_cycle.nodes()[0]
+        ball_a = collect_ball(small_cycle, node, 1, outputs={n: 1 for n in small_cycle.nodes()})
+        ball_b = collect_ball(small_cycle, node, 1, outputs={n: 2 for n in small_cycle.nodes()})
+        assert ball_a.canonical_key(include_outputs=True) != ball_b.canonical_key(include_outputs=True)
+        assert ball_a.canonical_key(include_outputs=False) == ball_b.canonical_key(include_outputs=False)
+
+    def test_include_outputs_without_outputs_raises(self, small_cycle):
+        ball = collect_ball(small_cycle, small_cycle.nodes()[0], 1)
+        with pytest.raises(ValueError):
+            ball.canonical_key(include_outputs=True)
+
+    def test_unknown_ids_mode_rejected(self, small_cycle):
+        ball = collect_ball(small_cycle, small_cycle.nodes()[0], 1)
+        with pytest.raises(ValueError):
+            ball.canonical_key(ids="bogus")
+
+    def test_key_invariant_under_order_preserving_relabel(self):
+        net = cycle_network(9, ids="shuffled", seed=3)
+        relabelled = net.with_ids(
+            order_preserving_relabel(net.ids, [v * 17 + 5 for v in range(1, 10)])
+        )
+        for node in net.nodes():
+            key_a = collect_ball(net, node, 1).canonical_key(ids="order")
+            key_b = collect_ball(relabelled, node, 1).canonical_key(ids="order")
+            assert key_a == key_b
+
+    def test_large_ball_uses_wl_key(self):
+        net = grid_network(5, 5)
+        center = net.nodes()[12]
+        ball = collect_ball(net, center, 2)
+        assert len(ball) > 9
+        key = ball.canonical_key()
+        assert key[0] == "wl"
+
+    def test_small_ball_uses_exact_key(self, small_cycle):
+        ball = collect_ball(small_cycle, small_cycle.nodes()[0], 1)
+        assert ball.canonical_key()[0] == "exact"
