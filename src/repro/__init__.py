@@ -14,9 +14,32 @@ the paper's framework on top of it:
 * :mod:`repro.algorithms` — classic LOCAL baselines (Cole–Vishkin, Luby,
   random coloring, color reduction, matching, dominating sets, resampling);
 * :mod:`repro.analysis` — Monte-Carlo estimation, metrics, log*, sweeps;
+* :mod:`repro.engine` — the batched vectorized Monte-Carlo execution layer:
+  it compiles a ``(Configuration, Decider)`` pair once into flat NumPy form
+  (CSR adjacency + per-node Bernoulli vote probabilities) and evaluates
+  thousands of trials as single array reductions, plus a process-pool sweep
+  runner and the content-addressed JSON result cache behind the CLI;
 * :mod:`repro.harness` — experiment records and reporting, used by the
   benchmark suite that regenerates every quantitative claim of the paper
   (see DESIGN.md and EXPERIMENTS.md).
+
+Fast path vs. reference path
+----------------------------
+The per-node Python voting rules in :mod:`repro.core.decision` are the
+*reference path* — they define correctness.  The engine is the *fast path*:
+any decider exposing ``vote_probability(ball)`` (a single Bernoulli decision
+per ball) is compiled and executed in batch, with ``engine="auto"``
+reproducing the reference coin streams bit for bit and ``engine="fast"``
+trading bit-identity for fully vectorized sampling.  See the
+:mod:`repro.engine` docstring for the authoring guide, and DESIGN.md for the
+architecture notes.
+
+Result caching
+--------------
+``python -m repro run`` memoises experiment results under
+``$REPRO_CACHE_DIR`` (default ``./.repro-cache``), keyed by experiment id,
+parameters, seed, and :data:`__version__`; bumping the version invalidates
+every entry, and ``--no-cache`` bypasses the cache entirely.
 
 Quickstart
 ----------
@@ -39,6 +62,7 @@ __all__ = [
     "core",
     "algorithms",
     "analysis",
+    "engine",
     "harness",
     "__version__",
 ]

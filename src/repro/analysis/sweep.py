@@ -12,7 +12,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Sequence
 
-__all__ = ["SweepResult", "sweep"]
+__all__ = ["SweepResult", "sweep", "grid_points", "merge_point_row"]
 
 
 @dataclass
@@ -45,6 +45,37 @@ class SweepResult:
         return iter(self.rows)
 
 
+def grid_points(parameters: Mapping[str, Sequence[object]]) -> List[Dict[str, object]]:
+    """The grid of a sweep: the Cartesian product of the parameter values in
+    the given key order, one dict per point."""
+    names = list(parameters.keys())
+    return [
+        dict(zip(names, values))
+        for values in itertools.product(*(parameters[name] for name in names))
+    ]
+
+
+def merge_point_row(
+    point: Mapping[str, object], measured: Mapping[str, object]
+) -> Dict[str, object]:
+    """Merge one grid point with the values the experiment measured there.
+
+    A measurement reusing a sweep-parameter name would silently shadow the
+    parameter in the row — a programming error worth surfacing loudly — so
+    collisions raise ``ValueError`` naming the colliding keys.
+    """
+    colliding = sorted(set(point) & set(measured))
+    if colliding:
+        raise ValueError(
+            f"experiment returned measurement keys colliding with sweep "
+            f"parameters: {', '.join(colliding)}; rename the measurements or "
+            "the parameters"
+        )
+    row: Dict[str, object] = dict(point)
+    row.update(measured)
+    return row
+
+
 def sweep(
     experiment: Callable[..., Mapping[str, object]],
     parameters: Mapping[str, Sequence[object]],
@@ -64,15 +95,11 @@ def sweep(
     -------
     SweepResult
         One row per grid point, containing both the parameters and the
-        measurements (measurements win on key collisions, which is treated
-        as a programming error worth surfacing loudly in tests).
+        measurements.  A measurement key colliding with a parameter name
+        raises ``ValueError`` (see :func:`merge_point_row`).
     """
-    names = list(parameters.keys())
     result = SweepResult()
-    for values in itertools.product(*(parameters[name] for name in names)):
-        point = dict(zip(names, values))
+    for point in grid_points(parameters):
         measured = dict(experiment(**point))
-        row: Dict[str, object] = dict(point)
-        row.update(measured)
-        result.rows.append(row)
+        result.rows.append(merge_point_row(point, measured))
     return result

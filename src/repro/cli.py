@@ -4,42 +4,64 @@ Usage::
 
     python -m repro list
     python -m repro run E1 E3 --output-dir results/
-    python -m repro run all --quick
+    python -m repro run all --quick --parallel 2 --seed 7
+    python -m repro run E5 --no-cache
     python -m repro report --results benchmarks/results --output EXPERIMENTS.md
 
 ``run`` executes the selected experiments of DESIGN.md's index at full scale
 (or at a reduced scale with ``--quick``), prints their tables, and optionally
 writes the JSON artifacts; ``report`` renders a directory of artifacts into
 the EXPERIMENTS.md format.
+
+``run`` memoises results in the :mod:`repro.engine.cache` result cache
+(keyed by experiment id, parameters, seed and package version, stored under
+``$REPRO_CACHE_DIR`` or ``./.repro-cache``): repeated invocations with the
+same workload print the cached tables instead of recomputing.  ``--no-cache``
+bypasses the cache in both directions, ``--parallel N`` fans the selected
+experiments out over ``N`` worker processes, and ``--seed`` reseeds every
+experiment that accepts a seed, making runs reproducible bit-for-bit.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.engine.cache import ResultCache, cache_key
+from repro.engine.parallel import accepts_seed
 from repro.harness.experiments import ALL_EXPERIMENTS
 from repro.harness.reporting import render_experiment, write_json
 from repro.harness.results import ExperimentResult
 from repro.harness.summary import load_results_directory, render_experiments_markdown
 
-__all__ = ["main", "build_parser", "QUICK_PARAMETERS"]
+__all__ = ["main", "build_parser", "QUICK_PARAMETERS", "DEFAULT_SEED"]
 
 #: Reduced workloads for ``--quick`` runs (used by the CLI smoke tests too).
 QUICK_PARAMETERS: Dict[str, Dict[str, object]] = {
     "E1": {"sizes": (9,), "trials": 400},
-    "E2": {"sizes": (30, 90), "eps_values": (0.75, 0.62), "trials": 60},
+    # E2: the verdict needs the concentration of the largest size, so the
+    # quick grid keeps one mid-sized cycle (90 was too small: eps=0.62 sat
+    # within one sigma of the 5/9 mean bad fraction and failed spuriously).
+    "E2": {"sizes": (30, 300), "eps_values": (0.75, 0.65), "trials": 60},
     "E3": {"n": 15},
     "E4": {"sizes": (8, 64, 1024)},
     "E5": {"f_values": (1, 2), "n": 24, "trials": 400},
     "E6": {"nu_values": (1, 2, 4), "trials": 120, "instance_size": 8},
-    "E7": {"n": 16, "trials": 400},
+    # E7 plants conflicting edges on a 3-colored cycle, so n must be
+    # divisible by 3 (16 crashed the workload builder).
+    "E7": {"n": 15, "trials": 400},
     "E8": {"n": 15, "trials": 100},
     "E9": {"instance_size": 12, "trials": 120},
     "E10": {"sizes": (20, 40), "runs": 2},
 }
+
+#: The master seed used when ``--seed`` is not given.  Every experiment that
+#: accepts a ``seed`` parameter receives it, so two machines running the same
+#: command produce bit-for-bit identical tables.
+DEFAULT_SEED = 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -65,6 +87,34 @@ def build_parser() -> argparse.ArgumentParser:
         type=Path,
         default=None,
         help="directory to write JSON artifacts to (omit to skip writing)",
+    )
+    run_parser.add_argument(
+        "--seed",
+        type=int,
+        default=DEFAULT_SEED,
+        help=(
+            "master seed forwarded to every experiment that accepts one "
+            f"(default: {DEFAULT_SEED}); for a fixed seed, runs — including "
+            "--quick runs — are reproducible bit-for-bit across machines"
+        ),
+    )
+    run_parser.add_argument(
+        "--parallel",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run the selected experiments over N worker processes (default: 1, serial)",
+    )
+    run_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute even when a cached result exists, and do not update the cache",
+    )
+    run_parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="result cache directory (default: $REPRO_CACHE_DIR or ./.repro-cache)",
     )
 
     report_parser = subparsers.add_parser(
@@ -93,6 +143,21 @@ def _resolve_experiment_ids(requested: Sequence[str]) -> List[str]:
     return resolved
 
 
+def _experiment_kwargs(experiment_id: str, quick: bool, seed: int) -> Dict[str, object]:
+    """The keyword arguments of one experiment run: the quick-scale overrides
+    plus the master seed, for experiments whose signature accepts one."""
+    kwargs: Dict[str, object] = dict(QUICK_PARAMETERS.get(experiment_id, {})) if quick else {}
+    if "seed" not in kwargs and accepts_seed(ALL_EXPERIMENTS[experiment_id]):
+        kwargs["seed"] = seed
+    return kwargs
+
+
+def _run_experiment_worker(experiment_id: str, kwargs: Dict[str, object]) -> Dict[str, object]:
+    """Top-level worker body for ``--parallel`` (must be picklable)."""
+    result = ALL_EXPERIMENTS[experiment_id](**kwargs)
+    return result.to_dict()
+
+
 def _command_list(stream) -> int:
     for experiment_id, function in ALL_EXPERIMENTS.items():
         summary = (function.__doc__ or "").strip().splitlines()[0]
@@ -101,18 +166,83 @@ def _command_list(stream) -> int:
 
 
 def _command_run(args: argparse.Namespace, stream) -> int:
+    experiment_ids = _resolve_experiment_ids(args.experiments)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+
+    # Cache lookups, and the plan of what must actually run.
+    cached: Dict[str, ExperimentResult] = {}
+    cached_paths: Dict[str, Path] = {}
+    plan: List[Tuple[str, Dict[str, object], Optional[str]]] = []
+    for experiment_id in experiment_ids:
+        if experiment_id in cached or any(entry[0] == experiment_id for entry in plan):
+            continue  # deduplicate repeated ids on the command line
+        kwargs = _experiment_kwargs(experiment_id, args.quick, args.seed)
+        key = None
+        if cache is not None:
+            # The seed is already inside kwargs exactly when the experiment
+            # accepts one, so keying on kwargs alone lets seed-less
+            # experiments (E3) share cache entries across --seed values.
+            key = cache_key(experiment_id, kwargs, seed=None)
+            payload = cache.get(key)
+            if payload is not None:
+                try:
+                    cached[experiment_id] = ExperimentResult.from_dict(payload)
+                except (KeyError, TypeError, ValueError):
+                    pass  # foreign/stale payload shape: treat as a miss
+                else:
+                    cached_paths[experiment_id] = cache.path_for(key)
+                    continue
+        plan.append((experiment_id, kwargs, key))
+
+    # Run the misses — over a process pool when asked — and stream each
+    # result (render / cache / artifact) as soon as it is available, in the
+    # requested order, so long runs show progress and an interrupted run
+    # keeps everything already printed and persisted.
+    pool = (
+        ProcessPoolExecutor(max_workers=args.parallel)
+        if args.parallel > 1 and len(plan) > 1
+        else None
+    )
+    futures = {}
+    if pool is not None:
+        for experiment_id, kwargs, _key in plan:
+            futures[experiment_id] = pool.submit(_run_experiment_worker, experiment_id, kwargs)
+    plan_by_id = {experiment_id: (kwargs, key) for experiment_id, kwargs, key in plan}
+
     failures = 0
-    for experiment_id in _resolve_experiment_ids(args.experiments):
-        function = ALL_EXPERIMENTS[experiment_id]
-        kwargs = QUICK_PARAMETERS.get(experiment_id, {}) if args.quick else {}
-        result: ExperimentResult = function(**kwargs)
-        print(render_experiment(result), file=stream)
-        print(file=stream)
-        if args.output_dir is not None:
-            path = write_json(result, Path(args.output_dir) / f"{experiment_id.lower()}.json")
-            print(f"wrote {path}", file=stream)
-        if result.matches_paper is False:
-            failures += 1
+    emitted: Dict[str, ExperimentResult] = {}
+    try:
+        for experiment_id in experiment_ids:
+            from_cache = experiment_id in cached
+            if from_cache:
+                result = cached[experiment_id]
+            elif experiment_id in emitted:
+                result = emitted[experiment_id]
+            else:
+                kwargs, key = plan_by_id[experiment_id]
+                if pool is not None:
+                    result = ExperimentResult.from_dict(futures[experiment_id].result())
+                else:
+                    result = ALL_EXPERIMENTS[experiment_id](**kwargs)
+                if cache is not None and key is not None:
+                    cache.put(
+                        key,
+                        result.to_dict(),
+                        key_fields={"experiment_id": experiment_id, "parameters": kwargs},
+                    )
+                emitted[experiment_id] = result
+            print(render_experiment(result), file=stream)
+            if from_cache:
+                print(f"(cached result reused from {cached_paths[experiment_id]})", file=stream)
+            print(file=stream)
+            if args.output_dir is not None:
+                path = write_json(result, Path(args.output_dir) / f"{experiment_id.lower()}.json")
+                print(f"wrote {path}", file=stream)
+            if result.matches_paper is False:
+                failures += 1
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
     return 1 if failures else 0
 
 

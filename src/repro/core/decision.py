@@ -25,6 +25,15 @@ Concrete deciders:
 :func:`estimate_guarantee` measures the empirical guarantee of a randomized
 decider on a set of labelled configurations; experiment E1 and E5 are built
 on it.
+
+Monte-Carlo entry points (:meth:`Decider.acceptance_probability`,
+:func:`estimate_guarantee`) take an ``engine=`` parameter and dispatch to
+the batched :mod:`repro.engine` subsystem whenever the decider exposes a
+compilable vote (``vote_probability(ball)`` — all three concrete deciders
+above do).  The default ``engine="auto"`` runs the engine's *exact* mode,
+which reproduces the per-node tape streams of the reference loop bit for
+bit; ``engine="fast"`` uses the fully vectorized sampler (distributionally
+equivalent), and ``engine="off"`` forces the reference loop.
 """
 
 from __future__ import annotations
@@ -36,6 +45,11 @@ from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence,
 
 from repro.core.languages import Configuration, DistributedLanguage, SELECTED
 from repro.core.lcl import LCLLanguage
+from repro.engine.adapters import (
+    engine_acceptance_probability,
+    engine_success_counts,
+    resolve_engine,
+)
 from repro.local.ball import BallView
 from repro.local.randomness import RandomTape, TapeFactory
 from repro.local.simulator import run_ball_algorithm
@@ -175,16 +189,23 @@ class Decider(ABC):
         configuration: Configuration,
         trials: int = 200,
         seed: int = 0,
+        engine: str = "auto",
     ) -> float:
         """Monte-Carlo estimate of Pr[all nodes accept] over the decider's
         coins (1 trial suffices for a deterministic decider).
 
         The configuration is fixed across trials, so the per-node balls are
         extracted once and only the coin flips are redrawn — behaviourally
-        identical to repeated :meth:`decide` calls, but much faster.
+        identical to repeated :meth:`decide` calls, but much faster.  When
+        the decider is compilable the trials run through
+        :mod:`repro.engine`; see the module docstring for the ``engine``
+        values (``auto``/``exact`` are bit-identical to ``off``).
         """
         if not self.randomized:
             return 1.0 if self.decide(configuration).accepted else 0.0
+        mode = resolve_engine(engine, self)
+        if mode != "off":
+            return engine_acceptance_probability(self, configuration, trials, seed, mode)
         balls = self._balls_of(configuration)
         accepted = 0
         for trial in range(trials):
@@ -233,10 +254,21 @@ class DeterministicDecider(Decider):
     def vote(self, ball: BallView, tape: Optional[RandomTape] = None) -> bool:
         return bool(self._rule(ball))
 
+    def vote_probability(self, ball: BallView) -> float:
+        """Deterministic votes are degenerate Bernoullis (engine fast path)."""
+        return 1.0 if self._rule(ball) else 0.0
+
 
 class RandomizedDecider(Decider):
     """A randomized decider built from a rule ``(ball, tape) -> bool`` and a
-    claimed guarantee ``p > 1/2``."""
+    claimed guarantee ``p > 1/2``.
+
+    When the rule is a single Bernoulli decision on the ball (it consumes at
+    most the tape's first draw), pass the matching ``vote_probability``
+    callable to make the decider compilable by :mod:`repro.engine`; leave it
+    unset for rules with richer coin usage, which must stay on the
+    reference path.
+    """
 
     randomized = True
 
@@ -246,6 +278,7 @@ class RandomizedDecider(Decider):
         radius: int,
         guarantee: float,
         name: str = "randomized-decider",
+        vote_probability: Optional[Callable[[BallView], float]] = None,
     ) -> None:
         if not 0.5 < guarantee <= 1.0:
             raise ValueError("the guarantee p must lie in (1/2, 1]")
@@ -253,6 +286,9 @@ class RandomizedDecider(Decider):
         self.radius = int(radius)
         self.guarantee = float(guarantee)
         self.name = name
+        if vote_probability is not None:
+            # Instance attribute, so `is_compilable` sees it only when given.
+            self.vote_probability = vote_probability
 
     def vote(self, ball: BallView, tape: Optional[RandomTape] = None) -> bool:
         if tape is None:
@@ -305,6 +341,13 @@ class AmosDecider(RandomizedDecider):
             return True
         return tape.bernoulli(golden_ratio_guarantee())
 
+    def vote_probability(self, ball: BallView) -> float:
+        """Non-selected nodes accept surely; selected nodes with probability
+        ``p`` — the compiled form of :meth:`_vote`."""
+        if ball.center_output() != SELECTED:
+            return 1.0
+        return golden_ratio_guarantee()
+
 
 class ResilientDecider(RandomizedDecider):
     """The BPLD decider of the f-resilient relaxation ``L_f`` (Corollary 1).
@@ -354,6 +397,13 @@ class ResilientDecider(RandomizedDecider):
         if not self.language.is_bad_ball(ball):
             return True
         return tape.bernoulli(self.p_bad_ball)
+
+    def vote_probability(self, ball: BallView) -> float:
+        """Good balls accept surely; bad balls with probability
+        ``p_bad_ball`` — the compiled form of :meth:`_vote`."""
+        if not self.language.is_bad_ball(ball):
+            return 1.0
+        return self.p_bad_ball
 
     def theoretical_acceptance(self, bad_ball_count: int) -> float:
         """Exact Pr[all nodes accept] for a configuration with the given
@@ -418,6 +468,7 @@ def estimate_guarantee(
     configurations: Sequence[Configuration],
     trials: int = 400,
     seed: int = 0,
+    engine: str = "auto",
 ) -> GuaranteeEstimate:
     """Estimate the guarantee of ``decider`` for ``language``.
 
@@ -425,18 +476,29 @@ def estimate_guarantee(
     (global) predicate, and the decider is run ``trials`` times with fresh
     coins.  Success means "accepted" on members and "rejected" on
     non-members, matching Eq. (1).  Deterministic deciders are run once.
+    Compilable randomized deciders dispatch their trials to
+    :mod:`repro.engine` (``engine="auto"``/``"exact"`` reproduce the
+    reference coins bit for bit; see the module docstring).
     """
+    mode = resolve_engine(engine, decider) if decider.randomized else "off"
     estimate = GuaranteeEstimate()
     for index, configuration in enumerate(configurations):
         member = language.contains(configuration)
         runs = 1 if not decider.randomized else trials
-        successes = 0
-        balls = decider._balls_of(configuration)
-        for trial in range(runs):
-            factory = TapeFactory(seed * 1_000_003 + trial, salt=f"{decider.name}/{index}")
-            accepted = decider._accepts_with(balls, configuration, factory)
-            ok = accepted if member else not accepted
-            successes += int(ok)
+        if mode != "off":
+            successes = engine_success_counts(
+                decider, configuration, member, runs, seed, index, mode
+            )
+        else:
+            successes = 0
+            balls = decider._balls_of(configuration)
+            for trial in range(runs):
+                factory = TapeFactory(
+                    seed * 1_000_003 + trial, salt=f"{decider.name}/{index}"
+                )
+                accepted = decider._accepts_with(balls, configuration, factory)
+                ok = accepted if member else not accepted
+                successes += int(ok)
         rate = successes / runs
         estimate.per_configuration[index] = (
             member,

@@ -35,8 +35,9 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.core.construction import Constructor
-from repro.core.decision import Decider
+from repro.core.decision import Decider, DecisionOutcome
 from repro.core.languages import Configuration, DistributedLanguage
+from repro.engine.adapters import engine_single_trial_votes, resolve_engine
 from repro.graphs.operations import GlueResult, disjoint_union, glue_instances
 from repro.local.network import Network
 from repro.local.randomness import TapeFactory
@@ -252,6 +253,26 @@ def find_hard_instances(
 # --------------------------------------------------------------------------- #
 # Far-acceptance probabilities and anchors (Claims 4 and 5)
 # --------------------------------------------------------------------------- #
+def _decide_outcome(
+    decider: Decider,
+    configuration: Configuration,
+    master_seed: int,
+    salt: str,
+    mode: str,
+) -> DecisionOutcome:
+    """One decider execution, through the engine when compiled.
+
+    The engine's exact mode replays the tape streams of
+    ``TapeFactory(master_seed, salt)`` bit for bit, so the two branches are
+    interchangeable; the engine one skips per-node tape construction at
+    deterministically-voting nodes (usually almost all of them).
+    """
+    if mode != "off":
+        votes = engine_single_trial_votes(decider, configuration, master_seed, salt)
+        return DecisionOutcome(votes=votes)
+    return decider.decide(configuration, tape_factory=TapeFactory(master_seed, salt=salt))
+
+
 def far_acceptance_probability(
     constructor: Constructor,
     decider: Decider,
@@ -260,19 +281,25 @@ def far_acceptance_probability(
     distance: int,
     trials: int = 200,
     seed: int = 0,
+    engine: str = "auto",
 ) -> float:
     """Estimate ``Pr[D accepts C(H) far from u]``.
 
     "Far from u" means every node at distance strictly greater than
     ``distance`` (the paper uses ``t + t'``) outputs true.  The probability
-    is over both the constructor's and the decider's coins.
+    is over both the constructor's and the decider's coins.  The
+    configuration is rebuilt every trial (fresh constructor coins), so the
+    engine's role here is the per-trial decision step; ``engine="auto"``
+    remains bit-identical to ``"off"``.
     """
+    mode = resolve_engine(engine, decider)
     accepted_far = 0
     for trial in range(trials):
         c_factory = TapeFactory(seed * 104_729 + trial, salt="far/construct")
-        d_factory = TapeFactory(seed * 104_729 + trial, salt="far/decide")
         configuration = constructor.configuration(network, tape_factory=c_factory)
-        outcome = decider.decide(configuration, tape_factory=d_factory)
+        outcome = _decide_outcome(
+            decider, configuration, seed * 104_729 + trial, "far/decide", mode
+        )
         accepted_far += int(outcome.accepted_far_from(configuration, node, distance))
     return accepted_far / trials
 
@@ -285,6 +312,7 @@ def choose_anchor(
     candidates: Optional[Sequence[Hashable]] = None,
     trials: int = 200,
     seed: int = 0,
+    engine: str = "auto",
 ) -> Tuple[Hashable, float]:
     """Pick the node whose far-acceptance probability is smallest.
 
@@ -299,7 +327,14 @@ def choose_anchor(
     best_probability = math.inf
     for node in candidates:
         probability = far_acceptance_probability(
-            constructor, decider, network, node, distance, trials=trials, seed=seed
+            constructor,
+            decider,
+            network,
+            node,
+            distance,
+            trials=trials,
+            seed=seed,
+            engine=engine,
         )
         if probability < best_probability:
             best_probability = probability
@@ -352,15 +387,18 @@ def _estimate_acceptance_and_membership(
     network: Network,
     trials: int,
     seed: int,
+    engine: str = "auto",
 ) -> Tuple[float, float]:
+    mode = resolve_engine(engine, decider)
     accepted = 0
     member = 0
     for trial in range(trials):
         c_factory = TapeFactory(seed * 15_485_863 + trial, salt="amp/construct")
-        d_factory = TapeFactory(seed * 15_485_863 + trial, salt="amp/decide")
         configuration = constructor.configuration(network, tape_factory=c_factory)
         member += int(language.contains(configuration))
-        outcome = decider.decide(configuration, tape_factory=d_factory)
+        outcome = _decide_outcome(
+            decider, configuration, seed * 15_485_863 + trial, "amp/decide", mode
+        )
         accepted += int(outcome.accepted)
     return accepted / trials, member / trials
 
@@ -374,6 +412,7 @@ def amplification_disjoint_union(
     p: float,
     trials: int = 200,
     seed: int = 0,
+    engine: str = "auto",
 ) -> AmplificationReport:
     """Execute the Claim 3 amplification on the disjoint union.
 
@@ -387,12 +426,12 @@ def amplification_disjoint_union(
         raise ValueError("need at least one hard instance")
     union = disjoint_union(list(hard_instances))
     acceptance, membership = _estimate_acceptance_and_membership(
-        constructor, decider, language, union, trials, seed
+        constructor, decider, language, union, trials, seed, engine=engine
     )
     per_instance = [
         1.0
         - _estimate_acceptance_and_membership(
-            constructor, decider, language, instance, trials, seed + 1 + index
+            constructor, decider, language, instance, trials, seed + 1 + index, engine=engine
         )[1]
         for index, instance in enumerate(hard_instances)
     ]
@@ -419,6 +458,7 @@ def amplification_glued(
     anchors: Optional[Sequence[Hashable]] = None,
     trials: int = 200,
     seed: int = 0,
+    engine: str = "auto",
 ) -> AmplificationReport:
     """Execute the Theorem 1 amplification on the connected, glued instance.
 
@@ -441,17 +481,18 @@ def amplification_glued(
                 distance,
                 trials=max(50, trials // 4),
                 seed=seed + 17 * index,
+                engine=engine,
             )[0]
             for index, instance in enumerate(hard_instances)
         ]
     glue: GlueResult = glue_instances(list(hard_instances), list(anchors))
     acceptance, membership = _estimate_acceptance_and_membership(
-        constructor, decider, language, glue.network, trials, seed
+        constructor, decider, language, glue.network, trials, seed, engine=engine
     )
     per_instance = [
         1.0
         - _estimate_acceptance_and_membership(
-            constructor, decider, language, instance, trials, seed + 1 + index
+            constructor, decider, language, instance, trials, seed + 1 + index, engine=engine
         )[1]
         for index, instance in enumerate(hard_instances)
     ]

@@ -1,0 +1,80 @@
+"""repro.engine — batched vectorized Monte-Carlo execution.
+
+The reference decision path (:mod:`repro.core.decision`) re-runs pure-Python
+per-node voting once per trial, even though the configuration — and with it
+every ball classification — is fixed across trials.  This subsystem compiles
+a ``(Configuration, Decider)`` pair **once** into flat NumPy form (CSR
+adjacency, per-node vote probabilities) and then evaluates thousands of
+trials as single array operations.  It is the package's *fast path*; the
+per-node Python rules remain the *reference path* that defines correctness.
+
+Layers
+------
+* :mod:`repro.engine.compiler` — :func:`compile_decision` /
+  :class:`CompiledDecision`: the one-off flattening, and the
+  ``vote_probability`` contract a decider must expose to be compilable;
+* :mod:`repro.engine.executor` — the trials×nodes Bernoulli-matrix
+  evaluation, in ``fast`` (fully vectorized) and ``exact`` (bit-for-bit
+  reproduction of the reference tape streams) modes;
+* :mod:`repro.engine.adapters` — drop-in counterparts of the legacy entry
+  points, used by the ``engine=`` dispatch in :mod:`repro.core.decision`
+  and :mod:`repro.core.derandomization`;
+* :mod:`repro.engine.parallel` — :class:`ParallelSweepRunner`, the
+  process-pool counterpart of :func:`repro.analysis.sweep.sweep` with
+  deterministic per-point seeding;
+* :mod:`repro.engine.cache` — :class:`ResultCache`, the content-addressed
+  JSON result store behind the CLI's default caching (key: experiment id +
+  parameters + seed + package version; see the module docstring for the
+  invalidation rule).
+
+Fast path vs. reference path (guide for decider authors)
+--------------------------------------------------------
+A decider joins the fast path by exposing ``vote_probability(ball) ->
+float``: the probability that ``vote(ball, tape)`` returns ``True`` on a
+fresh tape.  The contract is that the vote is a *single Bernoulli decision*
+— it either ignores the tape entirely (probability 0 or 1) or consumes
+exactly the tape's first uniform draw via ``tape.bernoulli(p)`` /
+``tape.uniform()``.  Deciders with richer coin usage (multiple draws,
+draw-dependent control flow) must stay on the reference path; ``engine="auto"``
+detects this and falls back automatically, while ``engine="fast"``/``"exact"``
+raise rather than misreport.  An equivalence test in ``tests/engine``
+asserts that both engine modes agree with the reference loop — exactly for
+``exact`` mode, distributionally for ``fast`` mode.
+"""
+
+from repro.engine.adapters import (
+    ENGINE_CHOICES,
+    engine_acceptance_probability,
+    engine_single_trial_votes,
+    engine_success_counts,
+    resolve_engine,
+)
+from repro.engine.cache import ResultCache, cache_key, default_cache_dir
+from repro.engine.compiler import CompiledDecision, compile_decision, is_compilable
+from repro.engine.executor import (
+    accept_vector,
+    acceptance_probability,
+    exact_single_trial_votes,
+    vote_matrix,
+)
+from repro.engine.parallel import ParallelSweepRunner, point_seed
+
+__all__ = [
+    "ENGINE_CHOICES",
+    "CompiledDecision",
+    "ParallelSweepRunner",
+    "ResultCache",
+    "accept_vector",
+    "acceptance_probability",
+    "cache_key",
+    "compile_decision",
+    "default_cache_dir",
+    "engine_acceptance_probability",
+    "engine_single_trial_votes",
+    "engine_success_counts",
+    "exact_single_trial_votes",
+    "is_compilable",
+    "point_seed",
+    "resolve_engine",
+    "vote_matrix",
+]

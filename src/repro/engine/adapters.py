@@ -1,0 +1,140 @@
+"""Drop-in engine counterparts of the legacy decision entry points.
+
+These helpers are what :mod:`repro.core.decision` and
+:mod:`repro.core.derandomization` dispatch to when a decider is compilable
+(see :func:`repro.engine.compiler.is_compilable`).  Each mirrors the exact
+seeding convention of the reference function it replaces, so callers choose
+between
+
+* ``engine="auto"`` — compile and run in **exact** mode: bit-for-bit the
+  same accept/reject stream as the reference loop, minus the per-trial
+  Python voting (the default everywhere: safe and already much faster on
+  configurations whose balls are mostly deterministic);
+* ``engine="fast"`` — compile and run the fully vectorized sampler:
+  distributionally equivalent, maximum throughput;
+* ``engine="off"`` — never used here; callers fall back to the reference
+  loop themselves.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Hashable, Sequence
+
+import numpy as np
+
+from repro.engine.compiler import CompiledDecision, compile_decision, is_compilable
+from repro.engine.executor import (
+    accept_vector,
+    acceptance_probability,
+    exact_single_trial_votes,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.decision import Decider
+    from repro.core.languages import Configuration
+
+__all__ = [
+    "ENGINE_CHOICES",
+    "resolve_engine",
+    "engine_acceptance_probability",
+    "engine_success_counts",
+    "engine_single_trial_votes",
+]
+
+#: Accepted values of the ``engine=`` parameter threaded through the stack.
+ENGINE_CHOICES = ("auto", "fast", "exact", "off")
+
+
+def resolve_engine(engine: str, decider: object) -> str:
+    """Map an ``engine=`` parameter value to an execution path.
+
+    Returns ``"off"`` (reference path), ``"exact"`` or ``"fast"``.  ``auto``
+    selects exact mode when the decider is compilable, otherwise the
+    reference path; explicitly requesting ``fast``/``exact`` on a
+    non-compilable decider raises, because silently falling back would
+    misreport what was measured.
+    """
+    if engine not in ENGINE_CHOICES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINE_CHOICES}")
+    if engine == "off":
+        return "off"
+    compilable = is_compilable(decider)
+    if engine == "auto":
+        return "exact" if compilable else "off"
+    if not compilable:
+        raise TypeError(
+            f"engine={engine!r} requested but decider "
+            f"{getattr(decider, 'name', decider)!r} is not compilable"
+        )
+    return engine
+
+
+def engine_acceptance_probability(
+    decider: "Decider",
+    configuration: "Configuration",
+    trials: int,
+    seed: int,
+    mode: str,
+) -> float:
+    """Engine counterpart of :meth:`Decider.acceptance_probability`.
+
+    Exact mode replays the reference seeding ``TapeFactory(seed + trial,
+    salt=decider.name)`` and therefore returns the identical estimate.
+    """
+    compiled = compile_decision(decider, configuration)
+    return acceptance_probability(
+        compiled,
+        trials,
+        seed=seed,
+        mode=mode,
+        trial_seed=lambda trial: seed + trial,
+        salt=decider.name,
+    )
+
+
+def engine_success_counts(
+    decider: "Decider",
+    configuration: "Configuration",
+    member: bool,
+    trials: int,
+    seed: int,
+    index: int,
+    mode: str,
+) -> int:
+    """Engine counterpart of one configuration's inner loop in
+    :func:`repro.core.decision.estimate_guarantee`.
+
+    Success means "accepted" on members and "rejected" on non-members; exact
+    mode replays the reference seeding ``TapeFactory(seed * 1_000_003 +
+    trial, salt=f"{decider.name}/{index}")``.
+    """
+    compiled = compile_decision(decider, configuration)
+    accepted = accept_vector(
+        compiled,
+        trials,
+        seed=seed * 1_000_003,
+        mode=mode,
+        trial_seed=lambda trial: seed * 1_000_003 + trial,
+        salt=f"{decider.name}/{index}",
+    )
+    successes = accepted if member else ~accepted
+    return int(np.count_nonzero(successes))
+
+
+def engine_single_trial_votes(
+    decider: "Decider",
+    configuration: "Configuration",
+    master_seed: int,
+    salt: object,
+) -> Dict[Hashable, bool]:
+    """One decide() execution evaluated through the engine.
+
+    Bit-for-bit identical to ``decider.decide(configuration,
+    tape_factory=TapeFactory(master_seed, salt)).votes`` for compilable
+    deciders; used by the derandomization loops, whose configurations change
+    every trial (fresh constructor coins) but whose decision step still
+    benefits from skipping tape construction at deterministic nodes.
+    """
+    compiled = compile_decision(decider, configuration)
+    votes = exact_single_trial_votes(compiled, master_seed, salt)
+    return {node: bool(votes[position]) for position, node in enumerate(compiled.nodes)}

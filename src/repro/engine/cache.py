@@ -1,0 +1,154 @@
+"""Content-addressed JSON cache for experiment results.
+
+Repeated ``python -m repro run`` invocations recompute every grid point from
+scratch even though the experiments are deterministic functions of their
+parameters and seed.  :class:`ResultCache` memoises them on disk:
+
+* **Key** — the SHA-256 digest of the canonical JSON encoding of
+  ``{experiment_id, parameters, seed, version}``, where ``version`` is
+  :data:`repro.__version__`.  Any change to the workload parameters, the
+  seed, or the package version therefore produces a fresh key; bumping the
+  package version is the (only) invalidation rule, so results can never leak
+  across releases whose numerics may differ.
+* **Location** — the directory given explicitly, else the
+  ``REPRO_CACHE_DIR`` environment variable, else ``.repro-cache/`` under the
+  current working directory.  One ``<key>.json`` file per entry, holding the
+  key fields next to the payload for inspectability.
+
+The cache stores plain JSON payloads (the CLI stores
+:meth:`~repro.harness.results.ExperimentResult.to_dict` dumps) and is safe
+to delete at any time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Mapping, Optional
+
+__all__ = ["ResultCache", "cache_key", "default_cache_dir"]
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """The cache directory: ``$REPRO_CACHE_DIR`` or ``./.repro-cache``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path.cwd() / ".repro-cache"
+
+
+def _canonical(value: object) -> object:
+    """Make a parameter structure JSON-encodable and order-insensitive."""
+    if isinstance(value, Mapping):
+        return {str(key): _canonical(val) for key, val in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def cache_key(
+    experiment_id: str,
+    parameters: Mapping[str, object],
+    seed: Optional[int],
+    version: Optional[str] = None,
+) -> str:
+    """The content address of one experiment run (see the module docstring)."""
+    if version is None:
+        from repro import __version__ as version
+    fields = {
+        "experiment_id": str(experiment_id),
+        "parameters": _canonical(parameters),
+        "seed": seed,
+        "version": str(version),
+    }
+    encoded = json.dumps(fields, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf8")).hexdigest()
+
+
+class ResultCache:
+    """A directory of content-addressed JSON results.
+
+    Parameters
+    ----------
+    directory:
+        Cache directory; defaults to :func:`default_cache_dir`.  Created
+        lazily on the first :meth:`put`.
+    """
+
+    def __init__(self, directory: Optional[Path] = None) -> None:
+        self.directory = Path(directory) if directory is not None else default_cache_dir()
+
+    def path_for(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    # ------------------------------------------------------------------ #
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        """The cached payload for a key, or ``None`` on miss (a corrupt or
+        truncated entry also reads as a miss rather than an error)."""
+        path = self.path_for(key)
+        try:
+            with path.open("r", encoding="utf8") as handle:
+                entry = json.load(handle)
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+            return None
+        if not isinstance(entry, dict):
+            return None
+        payload = entry.get("payload")
+        return payload if isinstance(payload, dict) else None
+
+    def put(
+        self,
+        key: str,
+        payload: Mapping[str, object],
+        key_fields: Optional[Mapping[str, object]] = None,
+    ) -> Path:
+        """Store a payload under a key; ``key_fields`` (experiment id,
+        parameters, ...) are saved alongside for human inspection."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        entry = {
+            "key": key,
+            "key_fields": _canonical(dict(key_fields)) if key_fields is not None else None,
+            "payload": dict(payload),
+        }
+        # Unique temp name + atomic rename: concurrent writers of the same
+        # key each publish a complete entry, last one wins.
+        descriptor, tmp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=f".{key[:16]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf8") as handle:
+                json.dump(entry, handle, indent=2, sort_keys=True)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of entries removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                path.unlink()
+                removed += 1
+        return removed

@@ -1,0 +1,168 @@
+"""Compilation of ``(Configuration, Decider)`` pairs into flat numeric form.
+
+The legacy decision path re-extracts balls and re-runs per-node Python voting
+rules once per Monte-Carlo trial, even though the configuration — and hence
+every ball classification — is fixed across trials.  The compiler factors
+that invariant work out: it walks the configuration **once**, asks the
+decider for the per-node probability of voting ``True`` (see
+:func:`is_compilable`), and stores the result as plain NumPy arrays:
+
+* a CSR adjacency (``indptr``/``indices`` over the identity-sorted node
+  order) describing the graph,
+* per-node vote probabilities ``probabilities[i] ∈ [0, 1]``, where 0 and 1
+  mark deterministic votes (good/unselected balls accept, bad balls of a
+  deterministic checker reject) and interior values mark Bernoulli coins,
+* the node identities, which seed the per-node random streams in the
+  executor's exact mode.
+
+A decider is *compilable* when its per-node :meth:`vote` is a single
+Bernoulli decision on the ball: it exposes ``vote_probability(ball)``
+returning the probability that ``vote(ball, tape)`` is ``True``, and the
+vote consumes at most its tape's **first** uniform draw (``p`` in ``(0, 1)``)
+or no draw at all (``p`` in ``{0, 1}``).  All three concrete deciders of the
+paper — :class:`~repro.core.decision.AmosDecider`,
+:class:`~repro.core.decision.ResilientDecider` and
+:class:`~repro.core.decision.LocalCheckerDecider` — have this shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import TYPE_CHECKING, Hashable, List, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.decision import Decider
+    from repro.core.languages import Configuration
+    from repro.local.network import Network
+
+__all__ = ["CompiledDecision", "compile_decision", "is_compilable"]
+
+
+def is_compilable(decider: object) -> bool:
+    """Whether the decider exposes the single-Bernoulli ``vote_probability``
+    contract the engine compiles (see the module docstring)."""
+    return callable(getattr(decider, "vote_probability", None))
+
+
+@dataclass(frozen=True)
+class CompiledDecision:
+    """A ``(Configuration, Decider)`` pair flattened to NumPy arrays.
+
+    Node order is the network's stable node order; all arrays are indexed by
+    position in ``nodes``.
+
+    Attributes
+    ----------
+    nodes:
+        The node objects, fixing the array indexing.
+    identities:
+        ``int64`` identity of each node (seeds the exact-mode streams).
+    probabilities:
+        ``float64`` probability that the node votes ``True``.
+    indptr / indices:
+        CSR adjacency over the same node order (neighbours sorted by
+        identity, as everywhere else in the package).  Built lazily on
+        first access: trial execution never reads the adjacency, and the
+        derandomization loops compile once per trial, so eager CSR
+        construction would be dead weight on their hot path.
+    decider_name:
+        Name of the compiled decider (the legacy tape salt).
+    radius:
+        Checking radius of the decider (cost bookkeeping / reporting).
+    """
+
+    nodes: Tuple[Hashable, ...]
+    identities: np.ndarray
+    probabilities: np.ndarray
+    network: "Network" = field(repr=False)
+    decider_name: str
+    radius: int
+
+    # ------------------------------------------------------------------ #
+    @cached_property
+    def _csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        position_of = {node: position for position, node in enumerate(self.nodes)}
+        indptr = np.zeros(len(self.nodes) + 1, dtype=np.int64)
+        flat_indices: List[int] = []
+        for position, node in enumerate(self.nodes):
+            neighbors = self.network.neighbors(node)
+            flat_indices.extend(position_of[neighbor] for neighbor in neighbors)
+            indptr[position + 1] = len(flat_indices)
+        return indptr, np.array(flat_indices, dtype=np.int64)
+
+    @property
+    def indptr(self) -> np.ndarray:
+        return self._csr[0]
+
+    @property
+    def indices(self) -> np.ndarray:
+        return self._csr[1]
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def random_index(self) -> np.ndarray:
+        """Positions of the nodes whose vote is a genuine coin flip."""
+        return np.flatnonzero((self.probabilities > 0.0) & (self.probabilities < 1.0))
+
+    @property
+    def always_rejects(self) -> bool:
+        """Whether some node deterministically votes ``False`` (probability
+        0), which forces every trial to reject."""
+        return bool(np.any(self.probabilities == 0.0))
+
+    @property
+    def deterministic_accept_probability(self) -> float:
+        """Exact Pr[all accept] — the product of the per-node probabilities
+        (coins at distinct nodes are independent)."""
+        return float(np.prod(self.probabilities))
+
+    def degrees(self) -> np.ndarray:
+        """Per-node degrees, read off the CSR index pointer."""
+        return np.diff(self.indptr)
+
+
+def compile_decision(decider: "Decider", configuration: "Configuration") -> CompiledDecision:
+    """Compile a decider against a fixed configuration.
+
+    Extracts every radius-``t`` ball once, asks the decider for its per-node
+    vote probability, and freezes the result into a
+    :class:`CompiledDecision` (whose CSR adjacency materialises lazily on
+    first access).  Raises ``TypeError`` for deciders that do not expose
+    ``vote_probability`` — callers should check :func:`is_compilable` first
+    and fall back to the reference path.
+    """
+    if not is_compilable(decider):
+        raise TypeError(
+            f"decider {getattr(decider, 'name', decider)!r} exposes no "
+            "vote_probability(ball) and cannot be compiled; use the legacy path"
+        )
+    network = configuration.network
+    nodes: List[Hashable] = network.nodes()
+    radius = int(decider.radius)
+
+    probabilities = np.empty(len(nodes), dtype=np.float64)
+    for position, node in enumerate(nodes):
+        ball = configuration.ball(node, radius)
+        probability = float(decider.vote_probability(ball))
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(
+                f"vote_probability of {decider.name!r} returned {probability} "
+                f"at node {node!r}; probabilities must lie in [0, 1]"
+            )
+        probabilities[position] = probability
+
+    return CompiledDecision(
+        nodes=tuple(nodes),
+        identities=np.array([network.identity(node) for node in nodes], dtype=np.int64),
+        probabilities=probabilities,
+        network=network,
+        decider_name=str(decider.name),
+        radius=radius,
+    )

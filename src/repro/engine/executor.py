@@ -1,0 +1,223 @@
+"""Batched trial evaluation of compiled decisions.
+
+One Monte-Carlo trial of a compiled decider is a Bernoulli draw per
+coin-flipping node followed by a global AND; ``trials`` trials are therefore
+a single ``trials × coins`` uniform matrix compared against the per-node
+probabilities and reduced with :func:`numpy.ndarray.all`.  Two sampling modes
+are provided:
+
+``fast`` (default)
+    One vectorized :class:`numpy.random.Generator` drives the whole matrix.
+    The per-trial accept/reject stream differs from the legacy per-node-tape
+    path, but its distribution is identical (each cell is an independent
+    uniform compared against the same probability) — the equivalence test in
+    ``tests/engine`` checks this statistically and via the exact per-trial
+    product :attr:`CompiledDecision.deterministic_accept_probability`.
+
+``exact``
+    Bit-for-bit reproduction of the reference path: for trial ``i`` the
+    uniform of node ``v`` is the **first draw** of the tape
+    ``TapeFactory(trial_seed(i), salt).tape_for(identity(v))``, exactly the
+    stream :meth:`repro.core.decision.Decider.acceptance_probability` and
+    :func:`repro.core.decision.estimate_guarantee` consume.  Only nodes whose
+    vote is a genuine coin flip ever read their tape (matching the reference
+    voting rules, which return early on deterministic balls), so this mode
+    still skips the per-trial tape construction for every deterministic node
+    — usually the overwhelming majority.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.engine.compiler import CompiledDecision
+from repro.local.randomness import derive_seed
+
+__all__ = [
+    "accept_vector",
+    "vote_matrix",
+    "acceptance_probability",
+    "exact_single_trial_votes",
+]
+
+_MODES = ("fast", "exact")
+
+
+def _fast_generator(compiled: CompiledDecision, seed: int, salt: object) -> np.random.Generator:
+    """The fast mode's generator, decorrelated across deciders and salts."""
+    return np.random.default_rng(derive_seed(int(seed), "engine-fast", salt, compiled.decider_name))
+
+
+def _exact_uniforms(
+    compiled: CompiledDecision,
+    trials: int,
+    trial_seed: Callable[[int], int],
+    salt: object,
+) -> np.ndarray:
+    """The ``trials × coins`` uniform matrix of the reference tape streams.
+
+    Each cell is the first draw of the corresponding per-node tape; the tape
+    seeds go through the same SHA-256 derivation as
+    :class:`~repro.local.randomness.TapeFactory`, so equality with the
+    reference path is exact, not approximate.
+    """
+    random_positions = compiled.random_index
+    identities = compiled.identities[random_positions]
+    uniforms = np.empty((trials, len(random_positions)), dtype=np.float64)
+    for trial in range(trials):
+        master = int(trial_seed(trial))
+        for column, identity in enumerate(identities):
+            tape_seed = derive_seed(master, salt, int(identity))
+            uniforms[trial, column] = np.random.default_rng(tape_seed).random()
+    return uniforms
+
+
+def _exact_accepts(
+    compiled: CompiledDecision,
+    trials: int,
+    trial_seed: Callable[[int], int],
+    salt: object,
+) -> np.ndarray:
+    """Per-trial global acceptance under the reference tape streams.
+
+    Unlike :func:`_exact_uniforms` this short-circuits each trial at the
+    first rejecting coin — exactly like the reference loop's early return —
+    so on coin-heavy, low-acceptance configurations the exact mode never
+    costs more tape derivations per trial than the loop it replaces.  The
+    short-circuit cannot change the result: per-node draws are independent
+    (seeded by identity), so skipping later coins skips values that could
+    not affect the conjunction.
+    """
+    random_positions = compiled.random_index
+    coins = [
+        (int(compiled.identities[position]), float(compiled.probabilities[position]))
+        for position in random_positions
+    ]
+    accepted = np.zeros(trials, dtype=bool)
+    for trial in range(trials):
+        master = int(trial_seed(trial))
+        for identity, threshold in coins:
+            tape_seed = derive_seed(master, salt, identity)
+            if not np.random.default_rng(tape_seed).random() < threshold:
+                break
+        else:
+            accepted[trial] = True
+    return accepted
+
+
+def _resolve(
+    compiled: CompiledDecision,
+    mode: str,
+    seed: int,
+    trial_seed: Optional[Callable[[int], int]],
+    salt: Optional[object],
+):
+    if mode not in _MODES:
+        raise ValueError(f"unknown engine mode {mode!r}; expected one of {_MODES}")
+    if salt is None:
+        salt = compiled.decider_name
+    if trial_seed is None:
+        trial_seed = lambda trial: seed + trial  # noqa: E731 - the legacy convention
+    return salt, trial_seed
+
+
+def accept_vector(
+    compiled: CompiledDecision,
+    trials: int,
+    seed: int = 0,
+    mode: str = "fast",
+    trial_seed: Optional[Callable[[int], int]] = None,
+    salt: Optional[object] = None,
+) -> np.ndarray:
+    """Per-trial global acceptance (``all`` over the node votes).
+
+    Returns a boolean vector of length ``trials``.  Only the coin-flipping
+    columns are sampled; a deterministic reject anywhere short-circuits the
+    whole matrix to ``False``.
+    """
+    if trials < 1:
+        raise ValueError("trials must be positive")
+    salt, trial_seed = _resolve(compiled, mode, seed, trial_seed, salt)
+    if compiled.always_rejects:
+        return np.zeros(trials, dtype=bool)
+    random_positions = compiled.random_index
+    if len(random_positions) == 0:
+        return np.ones(trials, dtype=bool)
+    if mode == "exact":
+        return _exact_accepts(compiled, trials, trial_seed, salt)
+    thresholds = compiled.probabilities[random_positions]
+    uniforms = _fast_generator(compiled, seed, salt).random((trials, len(random_positions)))
+    return np.all(uniforms < thresholds, axis=1)
+
+
+def vote_matrix(
+    compiled: CompiledDecision,
+    trials: int,
+    seed: int = 0,
+    mode: str = "fast",
+    trial_seed: Optional[Callable[[int], int]] = None,
+    salt: Optional[object] = None,
+) -> np.ndarray:
+    """The full ``trials × nodes`` boolean vote matrix.
+
+    Use :func:`accept_vector` when only global acceptance is needed — it
+    avoids materialising the deterministic columns and short-circuits exact
+    mode.  This entry point serves callers that reduce over *subsets* of the
+    node votes (the single-trial case is
+    :func:`exact_single_trial_votes`, which the derandomization loops use
+    for the Claim 4 far-acceptance events).
+    """
+    if trials < 1:
+        raise ValueError("trials must be positive")
+    salt, trial_seed = _resolve(compiled, mode, seed, trial_seed, salt)
+    votes = np.broadcast_to(compiled.probabilities >= 1.0, (trials, compiled.n_nodes)).copy()
+    random_positions = compiled.random_index
+    if len(random_positions):
+        thresholds = compiled.probabilities[random_positions]
+        if mode == "fast":
+            uniforms = _fast_generator(compiled, seed, salt).random(
+                (trials, len(random_positions))
+            )
+        else:
+            uniforms = _exact_uniforms(compiled, trials, trial_seed, salt)
+        votes[:, random_positions] = uniforms < thresholds
+    return votes
+
+
+def acceptance_probability(
+    compiled: CompiledDecision,
+    trials: int,
+    seed: int = 0,
+    mode: str = "fast",
+    trial_seed: Optional[Callable[[int], int]] = None,
+    salt: Optional[object] = None,
+) -> float:
+    """Monte-Carlo Pr[all nodes accept] over ``trials`` batched trials."""
+    accepted = accept_vector(
+        compiled, trials, seed=seed, mode=mode, trial_seed=trial_seed, salt=salt
+    )
+    return float(np.count_nonzero(accepted)) / trials
+
+
+def exact_single_trial_votes(
+    compiled: CompiledDecision,
+    master_seed: int,
+    salt: object,
+) -> np.ndarray:
+    """One trial's per-node votes under the reference tape streams.
+
+    Equivalent to ``decider.decide(configuration,
+    tape_factory=TapeFactory(master_seed, salt))`` restricted to the vote
+    booleans, and bit-for-bit identical to it for compilable deciders.
+    """
+    votes = compiled.probabilities >= 1.0
+    random_positions = compiled.random_index
+    if len(random_positions):
+        uniforms = _exact_uniforms(
+            compiled, 1, trial_seed=lambda _trial: int(master_seed), salt=salt
+        )[0]
+        votes = votes.copy()
+        votes[random_positions] = uniforms < compiled.probabilities[random_positions]
+    return votes

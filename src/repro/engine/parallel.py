@@ -1,0 +1,122 @@
+"""Parallel parameter sweeps over a process pool.
+
+:class:`ParallelSweepRunner` is the multi-core counterpart of
+:func:`repro.analysis.sweep.sweep`: it evaluates the same Cartesian grid,
+produces the same :class:`~repro.analysis.sweep.SweepResult` (rows in grid
+order, key-collision checking included), but fans the grid points out over a
+``concurrent.futures.ProcessPoolExecutor``.
+
+Determinism is preserved under any worker count and any completion order:
+
+* rows are collected in grid order, not completion order;
+* when a master ``seed`` is configured and the experiment accepts a ``seed``
+  keyword, every point receives a seed derived (via the package-wide SHA-256
+  derivation) from the master seed and the point's own parameters — the seed
+  of a point never depends on which worker ran it or on the grid shape.
+
+The experiment callable and its parameter values must be picklable (a
+top-level function, like every experiment in :mod:`repro.harness`); for
+quick in-process runs or unpicklable closures, set ``max_workers=0`` to
+evaluate serially through the exact same code path.
+"""
+
+from __future__ import annotations
+
+import inspect
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Dict, Mapping, Optional, Sequence
+
+from repro.analysis.sweep import SweepResult, grid_points, merge_point_row
+from repro.local.randomness import derive_seed
+
+__all__ = ["ParallelSweepRunner", "accepts_seed", "point_seed"]
+
+
+def point_seed(master_seed: int, point: Mapping[str, object]) -> int:
+    """The deterministic per-point seed: derived from the master seed and the
+    point's sorted ``(name, value)`` pairs, independent of worker scheduling."""
+    components = tuple(sorted((name, repr(value)) for name, value in point.items()))
+    return derive_seed(master_seed, "sweep-point", components) % (2**31)
+
+
+def _evaluate_point(
+    experiment: Callable[..., Mapping[str, object]], kwargs: Dict[str, object]
+) -> Dict[str, object]:
+    """Top-level worker body (must be picklable for the process pool)."""
+    return dict(experiment(**kwargs))
+
+
+def accepts_seed(experiment: Callable[..., object]) -> bool:
+    """Whether a callable takes a ``seed`` keyword (directly or via
+    ``**kwargs``); shared by the sweep runner and the CLI's seed plumbing."""
+    try:
+        signature = inspect.signature(experiment)
+    except (TypeError, ValueError):  # pragma: no cover - builtins, C callables
+        return False
+    for parameter in signature.parameters.values():
+        if parameter.kind is inspect.Parameter.VAR_KEYWORD:
+            return True
+        if parameter.name == "seed" and parameter.kind in (
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            inspect.Parameter.KEYWORD_ONLY,
+        ):
+            return True
+    return False
+
+
+class ParallelSweepRunner:
+    """Evaluate a parameter grid over a process pool.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool size; ``None`` lets :class:`ProcessPoolExecutor` pick (one per
+        CPU), ``0`` runs serially in-process (useful for unpicklable
+        experiments and for debugging — the seeding and row assembly are
+        identical either way).
+    seed:
+        Master seed for deterministic per-point seeding; ``None`` leaves the
+        experiment's own ``seed`` default untouched.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None, seed: Optional[int] = None) -> None:
+        if max_workers is not None and max_workers < 0:
+            raise ValueError("max_workers must be non-negative (0 = run serially)")
+        self.max_workers = max_workers
+        self.seed = seed
+
+    # ------------------------------------------------------------------ #
+    def _point_kwargs(
+        self,
+        experiment: Callable[..., Mapping[str, object]],
+        point: Mapping[str, object],
+    ) -> Dict[str, object]:
+        kwargs = dict(point)
+        if self.seed is not None and "seed" not in kwargs and accepts_seed(experiment):
+            kwargs["seed"] = point_seed(self.seed, point)
+        return kwargs
+
+    def run(
+        self,
+        experiment: Callable[..., Mapping[str, object]],
+        parameters: Mapping[str, Sequence[object]],
+    ) -> SweepResult:
+        """Run ``experiment(**point)`` for every grid point; rows come back
+        in grid order regardless of which worker finished first."""
+        points = grid_points(parameters)
+        kwargs_per_point = [self._point_kwargs(experiment, point) for point in points]
+
+        if self.max_workers == 0 or len(points) <= 1:
+            measurements = [_evaluate_point(experiment, kwargs) for kwargs in kwargs_per_point]
+        else:
+            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                futures = [
+                    pool.submit(_evaluate_point, experiment, kwargs)
+                    for kwargs in kwargs_per_point
+                ]
+                measurements = [future.result() for future in futures]
+
+        result = SweepResult()
+        for point, measured in zip(points, measurements):
+            result.rows.append(merge_point_row(point, measured))
+        return result

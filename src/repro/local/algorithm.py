@@ -84,7 +84,7 @@ class LocalAlgorithm(ABC):
 
         Return either a single value — broadcast to every neighbour — or a
         ``dict`` mapping port number to message for per-port messages.
-        Return ``None`` to send nothing.
+        Return ``None`` (or an empty per-port dict) to send nothing.
         """
 
     @abstractmethod

@@ -150,8 +150,9 @@ class Simulator:
                     continue
                 if isinstance(payload, dict) and all(
                     isinstance(key, int) for key in payload
-                ) and payload and set(payload).issubset(set(self.ports.ports(node))):
-                    # Per-port messages.
+                ) and set(payload).issubset(set(self.ports.ports(node))):
+                    # Per-port messages; an empty dict means "send nothing"
+                    # this round, NOT a broadcast of {}.
                     for port, message in payload.items():
                         neighbor = self.ports.neighbor(node, port)
                         back_port = self.ports.port(neighbor, node)

@@ -97,7 +97,8 @@ class TestCliExecution:
     def test_run_quick_single_experiment_writes_artifact(self, tmp_path):
         stream = io.StringIO()
         code = main(
-            ["run", "E3", "--quick", "--output-dir", str(tmp_path)], stream=stream
+            ["run", "E3", "--quick", "--no-cache", "--output-dir", str(tmp_path)],
+            stream=stream,
         )
         assert code == 0
         assert (tmp_path / "e3.json").exists()

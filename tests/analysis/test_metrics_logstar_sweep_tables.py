@@ -93,6 +93,16 @@ class TestSweep:
         result = SweepResult(rows=[{"x": 1}])
         assert list(result) == [{"x": 1}]
 
+    def test_measurement_colliding_with_parameter_raises(self):
+        """Regression: a measurement reusing a sweep-parameter key used to
+        silently overwrite the parameter in the row."""
+        with pytest.raises(ValueError, match=r"colliding.*\bn\b"):
+            sweep(lambda n: {"n": n * n}, {"n": [3]})
+
+    def test_collision_error_names_every_colliding_key(self):
+        with pytest.raises(ValueError, match=r"a, b"):
+            sweep(lambda a, b: {"a": 1, "b": 2, "ok": 3}, {"a": [1], "b": [2]})
+
 
 class TestTables:
     def test_format_table_alignment_and_title(self):

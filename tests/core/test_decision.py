@@ -89,6 +89,50 @@ class TestDecisionOutcome:
         assert outcome.rejecting_nodes_within(configuration, nodes[0], 2) == [nodes[2]]
         assert outcome.rejecting_nodes_within(configuration, nodes[6], 2) == []
 
+    def test_rejection_at_exactly_the_cutoff_distance(self, small_path):
+        """Both events treat the cutoff inclusively: a rejection at distance
+        exactly d is *within* d, and far-acceptance (strictly beyond d)
+        ignores it."""
+        nodes = small_path.nodes()
+        configuration = Configuration(small_path, {node: "" for node in nodes})
+        votes = {node: True for node in nodes}
+        votes[nodes[3]] = False  # distance exactly 3 from nodes[0]
+        outcome = DecisionOutcome(votes)
+        assert outcome.rejecting_nodes_within(configuration, nodes[0], 3) == [nodes[3]]
+        assert outcome.rejecting_nodes_within(configuration, nodes[0], 2) == []
+        assert outcome.accepted_far_from(configuration, nodes[0], 3)
+        assert not outcome.accepted_far_from(configuration, nodes[0], 2)
+
+    def test_disconnected_rejector_is_infinitely_far(self):
+        """A rejecting node in another component is beyond every finite
+        cutoff: never 'within', always 'far'."""
+        import networkx as nx
+
+        from repro.local.network import Network
+
+        graph = nx.Graph()
+        graph.add_edges_from([("a", "b")])
+        graph.add_node("island")
+        network = Network(graph)
+        configuration = Configuration(network, {node: "" for node in network.nodes()})
+        outcome = DecisionOutcome({"a": True, "b": True, "island": False})
+        assert outcome.rejecting_nodes_within(configuration, "a", 10**6) == []
+        assert not outcome.accepted_far_from(configuration, "a", 10**6)
+        # From the island's own perspective the rejection is at distance 0.
+        assert outcome.rejecting_nodes_within(configuration, "island", 0) == ["island"]
+
+    def test_queried_node_itself_rejecting(self, small_path):
+        """The centre is at distance 0: inside every 'within' ball, outside
+        every 'far' event (0 > d is false for all d ≥ 0)."""
+        nodes = small_path.nodes()
+        configuration = Configuration(small_path, {node: "" for node in nodes})
+        votes = {node: True for node in nodes}
+        votes[nodes[0]] = False
+        outcome = DecisionOutcome(votes)
+        assert outcome.rejecting_nodes_within(configuration, nodes[0], 0) == [nodes[0]]
+        assert outcome.accepted_far_from(configuration, nodes[0], 0)
+        assert outcome.accepted_far_from(configuration, nodes[0], 5)
+
 
 class TestDeterministicDecider:
     def test_local_checker_is_exact(self, proper_three_coloring, broken_three_coloring):

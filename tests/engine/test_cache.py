@@ -1,0 +1,80 @@
+"""Tests for the content-addressed result cache (repro.engine.cache)."""
+
+from __future__ import annotations
+
+import json
+
+import repro
+from repro.engine.cache import CACHE_DIR_ENV, ResultCache, cache_key, default_cache_dir
+
+
+class TestCacheKey:
+    def test_stable_for_identical_inputs(self):
+        a = cache_key("E1", {"trials": 100, "sizes": [9]}, seed=0)
+        b = cache_key("E1", {"sizes": [9], "trials": 100}, seed=0)
+        assert a == b  # canonical encoding is key-order insensitive
+
+    def test_sensitive_to_every_field(self):
+        base = cache_key("E1", {"trials": 100}, seed=0)
+        assert cache_key("E2", {"trials": 100}, seed=0) != base
+        assert cache_key("E1", {"trials": 101}, seed=0) != base
+        assert cache_key("E1", {"trials": 100}, seed=1) != base
+        assert cache_key("E1", {"trials": 100}, seed=0, version="0.0.0-other") != base
+
+    def test_version_defaults_to_package_version(self):
+        assert cache_key("E1", {}, 0) == cache_key("E1", {}, 0, version=repro.__version__)
+
+    def test_tuples_and_lists_key_identically(self):
+        assert cache_key("E1", {"sizes": (9, 12)}, 0) == cache_key("E1", {"sizes": [9, 12]}, 0)
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("E1", {"trials": 10}, 0)
+        assert cache.get(key) is None
+        assert key not in cache
+        cache.put(key, {"rows": [1, 2, 3]}, key_fields={"experiment_id": "E1"})
+        assert key in cache
+        assert cache.get(key) == {"rows": [1, 2, 3]}
+        assert len(cache) == 1
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("E1", {}, 0)
+        cache.put(key, {"rows": []})
+        cache.path_for(key).write_text("{not json", encoding="utf8")
+        assert cache.get(key) is None
+
+    def test_entry_file_is_inspectable_json(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("E5", {"f_values": [1, 2]}, 3)
+        cache.put(key, {"ok": True}, key_fields={"experiment_id": "E5", "seed": 3})
+        entry = json.loads(cache.path_for(key).read_text(encoding="utf8"))
+        assert entry["key"] == key
+        assert entry["key_fields"]["experiment_id"] == "E5"
+        assert entry["payload"] == {"ok": True}
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for index in range(3):
+            cache.put(cache_key("E1", {"i": index}, 0), {"i": index})
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        cache = ResultCache(tmp_path / "never-created")
+        assert len(cache) == 0
+        assert cache.get("deadbeef") is None
+        assert cache.clear() == 0
+
+
+class TestDefaultLocation:
+    def test_env_var_overrides(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "custom"))
+        assert default_cache_dir() == tmp_path / "custom"
+
+    def test_default_is_repo_local(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        monkeypatch.chdir(tmp_path)
+        assert default_cache_dir() == tmp_path / ".repro-cache"

@@ -1,0 +1,102 @@
+"""Tests for the engine-era CLI flags: --seed, --parallel, --no-cache."""
+
+from __future__ import annotations
+
+import io
+
+from repro.cli import DEFAULT_SEED, build_parser, main
+
+
+def run_cli(argv):
+    stream = io.StringIO()
+    code = main(argv, stream=stream)
+    return code, stream.getvalue()
+
+
+class TestParsing:
+    def test_new_flags_parse(self):
+        args = build_parser().parse_args(
+            ["run", "E3", "--quick", "--parallel", "2", "--no-cache", "--seed", "7"]
+        )
+        assert args.parallel == 2
+        assert args.no_cache
+        assert args.seed == 7
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["run", "E3"])
+        assert args.parallel == 1
+        assert not args.no_cache
+        assert args.seed == DEFAULT_SEED
+        assert args.cache_dir is None
+
+    def test_seed_default_documented_in_help(self, capsys):
+        try:
+            build_parser().parse_args(["run", "--help"])
+        except SystemExit:
+            pass
+        help_text = capsys.readouterr().out
+        assert f"default: {DEFAULT_SEED}" in help_text
+
+
+class TestRunBehaviour:
+    def test_seeded_quick_runs_are_reproducible(self, tmp_path):
+        argv = ["run", "E5", "--quick", "--seed", "11", "--cache-dir", str(tmp_path), "--no-cache"]
+        code_a, out_a = run_cli(argv)
+        code_b, out_b = run_cli(argv)
+        assert code_a == code_b == 0
+        assert out_a == out_b
+
+    def test_cache_hit_on_second_run(self, tmp_path):
+        argv = ["run", "E3", "--quick", "--cache-dir", str(tmp_path)]
+        code_a, out_a = run_cli(argv)
+        assert code_a == 0
+        assert "cached result reused" not in out_a
+        code_b, out_b = run_cli(argv)
+        assert code_b == 0
+        assert "cached result reused" in out_b
+        # The rendered experiment table is identical either way.
+        assert out_a.splitlines()[0] == out_b.splitlines()[0]
+
+    def test_no_cache_bypasses_existing_entries(self, tmp_path):
+        argv = ["run", "E3", "--quick", "--cache-dir", str(tmp_path)]
+        run_cli(argv)
+        code, out = run_cli(argv + ["--no-cache"])
+        assert code == 0
+        assert "cached result reused" not in out
+
+    def test_different_seed_misses_cache(self, tmp_path):
+        base = ["run", "E5", "--quick", "--cache-dir", str(tmp_path)]
+        run_cli(base)
+        code, out = run_cli(base + ["--seed", "99"])
+        assert code == 0
+        assert "cached result reused" not in out
+
+    def test_seedless_experiment_shares_cache_across_seeds(self, tmp_path):
+        """E3 takes no seed parameter, so --seed cannot change its result and
+        must not change its cache key."""
+        base = ["run", "E3", "--quick", "--cache-dir", str(tmp_path)]
+        run_cli(base)
+        code, out = run_cli(base + ["--seed", "99"])
+        assert code == 0
+        assert "cached result reused" in out
+
+    def test_parallel_run_matches_serial(self, tmp_path):
+        serial_argv = [
+            "run", "E3", "E5", "--quick", "--seed", "2", "--no-cache",
+        ]
+        parallel_argv = serial_argv + ["--parallel", "2"]
+        code_a, out_a = run_cli(serial_argv)
+        code_b, out_b = run_cli(parallel_argv)
+        assert code_a == code_b == 0
+        assert out_a == out_b
+
+    def test_parallel_results_are_cached(self, tmp_path):
+        argv = [
+            "run", "E3", "E5", "--quick", "--parallel", "2",
+            "--cache-dir", str(tmp_path), "--seed", "4",
+        ]
+        code, _out = run_cli(argv)
+        assert code == 0
+        code, out = run_cli(argv)
+        assert code == 0
+        assert out.count("cached result reused") == 2

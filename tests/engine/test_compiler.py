@@ -1,0 +1,125 @@
+"""Tests for the decision compiler (repro.engine.compiler)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.decision import (
+    AmosDecider,
+    LocalCheckerDecider,
+    RandomizedDecider,
+    ResilientDecider,
+    golden_ratio_guarantee,
+)
+from repro.core.languages import SELECTED, Configuration
+from repro.core.lcl import ProperColoring
+from repro.engine.compiler import compile_decision, is_compilable
+from repro.graphs.families import cycle_network
+
+
+def amos_configuration(n, selected_positions):
+    network = cycle_network(n)
+    nodes = network.nodes()
+    return Configuration(
+        network,
+        {
+            node: (SELECTED if index in selected_positions else "")
+            for index, node in enumerate(nodes)
+        },
+    )
+
+
+class TestIsCompilable:
+    def test_concrete_deciders_are_compilable(self):
+        assert is_compilable(AmosDecider())
+        assert is_compilable(ResilientDecider(ProperColoring(3), f=2))
+        assert is_compilable(LocalCheckerDecider(ProperColoring(3)))
+
+    def test_plain_randomized_rule_is_not(self):
+        decider = RandomizedDecider(lambda ball, tape: True, radius=0, guarantee=0.9)
+        assert not is_compilable(decider)
+
+    def test_randomized_rule_with_vote_probability_is(self):
+        decider = RandomizedDecider(
+            lambda ball, tape: tape.bernoulli(0.9),
+            radius=0,
+            guarantee=0.9,
+            vote_probability=lambda ball: 0.9,
+        )
+        assert is_compilable(decider)
+
+    def test_compile_rejects_non_compilable(self, proper_three_coloring):
+        decider = RandomizedDecider(lambda ball, tape: True, radius=0, guarantee=0.9)
+        with pytest.raises(TypeError):
+            compile_decision(decider, proper_three_coloring)
+
+
+class TestCompiledProbabilities:
+    def test_amos_classification(self):
+        configuration = amos_configuration(9, {0, 4})
+        compiled = compile_decision(AmosDecider(), configuration)
+        p = golden_ratio_guarantee()
+        expected = np.where(
+            [output == SELECTED for output in configuration.outputs.values()], p, 1.0
+        )
+        # Node order of the compiled form is the network's node order, which
+        # matches the configuration's outputs iteration order here.
+        assert np.allclose(compiled.probabilities, expected)
+        assert len(compiled.random_index) == 2
+        assert not compiled.always_rejects
+
+    def test_resilient_classification(self, broken_three_coloring):
+        language = ProperColoring(3)
+        decider = ResilientDecider(language, f=1)
+        compiled = compile_decision(decider, broken_three_coloring)
+        bad = set(language.bad_nodes(broken_three_coloring))
+        for position, node in enumerate(compiled.nodes):
+            expected = decider.p_bad_ball if node in bad else 1.0
+            assert compiled.probabilities[position] == pytest.approx(expected)
+        # Exact closed form: Pr[all accept] = p^{|F(G)|}.
+        assert compiled.deterministic_accept_probability == pytest.approx(
+            decider.theoretical_acceptance(len(bad))
+        )
+
+    def test_local_checker_is_all_deterministic(self, broken_three_coloring):
+        compiled = compile_decision(
+            LocalCheckerDecider(ProperColoring(3)), broken_three_coloring
+        )
+        assert set(np.unique(compiled.probabilities)) <= {0.0, 1.0}
+        assert len(compiled.random_index) == 0
+        assert compiled.always_rejects
+
+    def test_invalid_probability_rejected(self, proper_three_coloring):
+        decider = RandomizedDecider(
+            lambda ball, tape: True,
+            radius=0,
+            guarantee=0.9,
+            vote_probability=lambda ball: 1.5,
+        )
+        with pytest.raises(ValueError):
+            compile_decision(decider, proper_three_coloring)
+
+
+class TestCompiledAdjacency:
+    def test_csr_matches_network(self, small_cycle):
+        configuration = Configuration(small_cycle, {node: "" for node in small_cycle.nodes()})
+        compiled = compile_decision(AmosDecider(), configuration)
+        assert compiled.n_nodes == small_cycle.number_of_nodes()
+        assert list(compiled.degrees()) == [
+            small_cycle.degree(node) for node in small_cycle.nodes()
+        ]
+        assert compiled.indptr[-1] == 2 * small_cycle.number_of_edges()
+        position_of = {node: i for i, node in enumerate(compiled.nodes)}
+        for position, node in enumerate(compiled.nodes):
+            start, stop = compiled.indptr[position], compiled.indptr[position + 1]
+            neighbors = [compiled.nodes[j] for j in compiled.indices[start:stop]]
+            assert neighbors == small_cycle.neighbors(node)
+            assert all(position_of[nb] != position for nb in neighbors)
+
+    def test_identities_follow_node_order(self, small_cycle):
+        configuration = Configuration(small_cycle, {node: "" for node in small_cycle.nodes()})
+        compiled = compile_decision(AmosDecider(), configuration)
+        assert list(compiled.identities) == [
+            small_cycle.identity(node) for node in compiled.nodes
+        ]

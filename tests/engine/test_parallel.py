@@ -1,0 +1,79 @@
+"""Tests for the parallel sweep runner (repro.engine.parallel)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sweep import sweep
+from repro.engine.parallel import ParallelSweepRunner, point_seed
+
+
+def measure_sum(a, b):
+    return {"sum": a + b, "product": a * b}
+
+
+def measure_with_seed(n, seed=0):
+    return {"value": n * 1000 + seed}
+
+
+def measure_colliding(n):
+    return {"n": n}
+
+
+GRID = {"a": [1, 2, 3], "b": [10, 20]}
+
+
+class TestParallelSweepRunner:
+    def test_matches_serial_sweep_rows_and_order(self):
+        serial = sweep(measure_sum, GRID)
+        parallel = ParallelSweepRunner(max_workers=2).run(measure_sum, GRID)
+        assert parallel.rows == serial.rows
+
+    def test_serial_in_process_mode(self):
+        result = ParallelSweepRunner(max_workers=0).run(measure_sum, GRID)
+        assert result.rows == sweep(measure_sum, GRID).rows
+
+    def test_key_collisions_raise(self):
+        with pytest.raises(ValueError, match="colliding"):
+            ParallelSweepRunner(max_workers=0).run(measure_colliding, {"n": [1, 2]})
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelSweepRunner(max_workers=-1)
+
+
+class TestDeterministicSeeding:
+    def test_per_point_seeds_are_stable_and_distinct(self):
+        grid = {"n": [1, 2, 3]}
+        seeds = [point_seed(7, {"n": n}) for n in (1, 2, 3)]
+        assert len(set(seeds)) == 3
+        assert seeds == [point_seed(7, {"n": n}) for n in (1, 2, 3)]
+
+    def test_point_seed_ignores_key_order(self):
+        assert point_seed(1, {"a": 1, "b": 2}) == point_seed(1, {"b": 2, "a": 1})
+
+    def test_seed_injected_when_experiment_accepts_it(self):
+        runner = ParallelSweepRunner(max_workers=0, seed=7)
+        result = runner.run(measure_with_seed, {"n": [1, 2]})
+        expected = [1000 + point_seed(7, {"n": 1}), 2000 + point_seed(7, {"n": 2})]
+        assert result.column("value") == expected
+
+    def test_seed_not_injected_without_master_seed(self):
+        result = ParallelSweepRunner(max_workers=0).run(measure_with_seed, {"n": [4]})
+        assert result.column("value") == [4000]
+
+    def test_seed_not_injected_when_experiment_rejects_it(self):
+        runner = ParallelSweepRunner(max_workers=0, seed=7)
+        result = runner.run(measure_sum, GRID)
+        assert result.rows == sweep(measure_sum, GRID).rows
+
+    def test_explicit_seed_parameter_wins(self):
+        runner = ParallelSweepRunner(max_workers=0, seed=7)
+        result = runner.run(measure_with_seed, {"n": [1], "seed": [5]})
+        assert result.column("value") == [1005]
+
+    def test_workers_do_not_change_results(self):
+        grid = {"n": [1, 2, 3, 4]}
+        serial = ParallelSweepRunner(max_workers=0, seed=3).run(measure_with_seed, grid)
+        pooled = ParallelSweepRunner(max_workers=2, seed=3).run(measure_with_seed, grid)
+        assert serial.rows == pooled.rows

@@ -189,3 +189,74 @@ class TestSimulator:
         result = Simulator(small_path).run(GatherNeighborIds(), rounds=1)
         by_identity = result.output_map_by_identity(small_path)
         assert set(by_identity) == set(small_path.ids.values())
+
+
+class ScriptedSend(LocalAlgorithm):
+    """Round 1: every node sends whatever ``payload_of(ctx)`` says; the nodes
+    output their (port -> message) inbox so the tests can inspect delivery."""
+
+    name = "scripted-send"
+
+    def __init__(self, payload_of):
+        self.payload_of = payload_of
+
+    def initial_state(self, ctx):
+        return {}
+
+    def send(self, state, ctx, rnd):
+        return self.payload_of(ctx)
+
+    def receive(self, state, ctx, rnd, inbox):
+        return dict(inbox)
+
+    def output(self, state, ctx):
+        return state
+
+
+class TestSendPayloadSemantics:
+    """The three payload shapes of ``LocalAlgorithm.send``: broadcast value,
+    per-port dict (empty = silence), and ``None`` (silence)."""
+
+    def test_empty_dict_sends_nothing(self, small_cycle):
+        """Regression: an empty per-port dict used to be broadcast as the
+        message ``{}`` to every neighbour."""
+        result = Simulator(small_cycle).run(ScriptedSend(lambda ctx: {}), rounds=1)
+        assert result.messages_sent == 0
+        assert all(inbox == {} for inbox in result.outputs.values())
+
+    def test_none_sends_nothing(self, small_cycle):
+        result = Simulator(small_cycle).run(ScriptedSend(lambda ctx: None), rounds=1)
+        assert result.messages_sent == 0
+        assert all(inbox == {} for inbox in result.outputs.values())
+
+    def test_mixed_per_port_and_broadcast_payloads(self, small_cycle):
+        """One node speaks on a single port, one broadcasts, the rest stay
+        silent; only those messages are delivered."""
+        identities = sorted(small_cycle.ids.values())
+        talker, broadcaster = identities[0], identities[1]
+
+        def payload(ctx):
+            if ctx.identity == talker:
+                return {0: "to-port-0"}
+            if ctx.identity == broadcaster:
+                return "hello-everyone"
+            return {}
+
+        result = Simulator(small_cycle).run(ScriptedSend(payload), rounds=1)
+        degree = small_cycle.degree(small_cycle.node_with_identity(broadcaster))
+        assert result.messages_sent == 1 + degree
+        received = [message for inbox in result.outputs.values() for message in inbox.values()]
+        assert received.count("to-port-0") == 1
+        assert received.count("hello-everyone") == degree
+
+    def test_dict_with_non_port_keys_is_broadcast_as_value(self, small_cycle):
+        """A dict whose keys are not the sender's ports is data, not routing:
+        it is broadcast verbatim."""
+        payload_value = {99: "not-a-port"}
+        result = Simulator(small_cycle).run(ScriptedSend(lambda ctx: payload_value), rounds=1)
+        assert result.messages_sent == 2 * small_cycle.number_of_edges()
+        assert all(
+            message == payload_value
+            for inbox in result.outputs.values()
+            for message in inbox.values()
+        )
