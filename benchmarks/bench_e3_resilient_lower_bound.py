@@ -5,7 +5,11 @@ Reproduces: every order-invariant constant-round algorithm outputs the same
 color at all core nodes of the consecutive-identity cycle, hence leaves far
 more than f bad balls — no order-invariant O(1)-round algorithm solves the
 f-resilient relaxation of 3-coloring, and by Claim 1 / Theorem 1 neither does
-any algorithm, randomized or not.
+any algorithm, randomized or not.  The decider columns cross-check the other
+side through the engine: the amplified (multi-draw) Corollary 1 decider
+rejects the best achievable output with probability > 1/2, so the relaxation
+stays decidable although it is not constructible.  (`bench_suite.py` guards
+the ≥5× engine speedup on this workload.)
 """
 
 from conftest import run_once
@@ -17,3 +21,8 @@ def test_e3_resilient_lower_bound(benchmark, record_experiment):
     result = run_once(benchmark, experiment_e3_resilient_lower_bound)
     record_experiment(result)
     assert result.matches_paper
+    for row in result.rows:
+        decider_columns = [key for key in row if key.startswith("decider_acceptance_f_")]
+        assert decider_columns, "the engine-backed decider cross-check produced no columns"
+        for key in decider_columns:
+            assert row[key] < 0.5

@@ -5,7 +5,10 @@ Reproduces the four cells of the paper's separation discussion: coloring
 decidable), a task that is both (color reduction under a coloring promise —
 documented substitution for weak coloring), and amos (randomly decidable in
 zero rounds, deterministically undecidable below D/2 − 1 rounds) — the
-witness that LD ⊊ BPLD.
+witness that LD ⊊ BPLD.  The amos guarantees are measured through the
+engine, for both the single-coin golden-ratio decider and its multi-draw
+majority amplification (a separate row, calibrated to the same p).
+(`bench_suite.py` guards the ≥5× engine speedup on this workload.)
 """
 
 from conftest import run_once
@@ -17,3 +20,5 @@ def test_e7_separations(benchmark, record_experiment):
     result = run_once(benchmark, experiment_e7_separations)
     record_experiment(result)
     assert result.matches_paper
+    amplified = [row for row in result.rows if "amplified" in str(row["language"])]
+    assert len(amplified) == 1, "the multi-draw amos row is missing"

@@ -1,0 +1,391 @@
+#!/usr/bin/env python
+"""Benchmark-suite driver: every bench workload, one machine-readable artifact.
+
+Runs one timed workload per ``bench_*.py`` file (the registry below is
+checked against the directory, so a new bench file without a suite entry is
+an error), and emits ``BENCH.json`` with per-workload **median seconds** and
+the **speedup versus** ``engine="off"`` for every workload with an engine
+path.  This artifact is what CI tracks; ``benchmarks/baseline.json`` is the
+committed reference it is compared against.
+
+Regression policy
+-----------------
+Absolute seconds are not portable across machines, so the committed baseline
+is checked on the **speedup** ratios (engine vs. reference on the *same*
+host, in the *same* run): ``--check`` fails when a workload's speedup drops
+more than ``--tolerance`` (default 30%) below the baseline's, or below its
+hard ``min_speedup`` floor (the E2/E3/E7 floors are the ≥5× acceptance
+criterion of the engine subsystem; the throughput microbenchmark keeps its
+≥10× guard).  Workloads without an engine path are reported for trajectory
+tracking but not gated.  Use ``--update-baseline`` after an intentional
+performance change.
+
+Usage::
+
+    python benchmarks/bench_suite.py                         # run + BENCH.json
+    python benchmarks/bench_suite.py --check benchmarks/baseline.json
+    python benchmarks/bench_suite.py --update-baseline
+    python benchmarks/bench_suite.py --only e2_eps_slack --repeats 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+BENCH_DIR = Path(__file__).resolve().parent
+if str(BENCH_DIR) not in sys.path:
+    sys.path.insert(0, str(BENCH_DIR))
+_SRC = BENCH_DIR.parent / "src"
+try:  # pragma: no cover - convenience for running without PYTHONPATH=src
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover
+    sys.path.insert(0, str(_SRC))
+
+from repro.harness import experiments as E  # noqa: E402
+
+DEFAULT_OUTPUT = BENCH_DIR / "BENCH.json"
+DEFAULT_BASELINE = BENCH_DIR / "baseline.json"
+
+
+@dataclass
+class Workload:
+    """One timed workload of the suite (mapped 1:1 to a bench_*.py file)."""
+
+    name: str
+    file: str
+    run: Callable[..., object]  # called with engine=... when engine_comparable
+    params: Dict[str, object] = field(default_factory=dict)
+    engine_comparable: bool = True
+    #: Hard floor on the engine-vs-off speedup (None: report only).
+    min_speedup: Optional[float] = None
+
+
+def _throughput_workload() -> Dict[str, float]:
+    """The engine-throughput microbenchmark, reused from its bench module."""
+    import bench_engine_throughput
+
+    rows = bench_engine_throughput.measure_all()
+    return {
+        f"{workload}/{engine}": speedup
+        for workload, engine, _tps, speedup, _est in rows
+        if engine != "off"
+    }
+
+
+#: The suite registry.  Workload parameters are sized so the reference
+#: (engine="off") pass of each engine workload stays in single-digit to low
+#: double-digit seconds while the engine-dispatched fraction dominates —
+#: that is what the speedup column measures.
+WORKLOADS: List[Workload] = [
+    Workload(
+        name="e1_amos",
+        file="bench_e1_amos.py",
+        run=E.experiment_e1_amos_decider,
+        params=dict(sizes=(12, 40), selected_counts=(0, 1, 2, 3), trials=1500, seed=0),
+    ),
+    Workload(
+        name="e2_eps_slack",
+        file="bench_e2_eps_slack.py",
+        run=E.experiment_e2_eps_slack_random_coloring,
+        params=dict(
+            sizes=(30, 90, 300),
+            eps_values=(0.75, 0.7, 0.6),
+            trials=30,
+            decider_trials=800,
+            seed=0,
+        ),
+        min_speedup=5.0,
+    ),
+    Workload(
+        name="e3_resilient_lower_bound",
+        file="bench_e3_resilient_lower_bound.py",
+        run=E.experiment_e3_resilient_lower_bound,
+        params=dict(n=30, radii=(0, 1), f_values=(1, 2, 4), trials=3000, seed=0),
+        min_speedup=5.0,
+    ),
+    Workload(
+        name="e4_logstar",
+        file="bench_e4_logstar.py",
+        run=E.experiment_e4_logstar_coloring,
+        params=dict(sizes=(8, 32, 128, 512, 2048, 8192, 32768), seed=0),
+        engine_comparable=False,
+    ),
+    Workload(
+        name="e5_resilient_decider",
+        file="bench_e5_resilient_decider.py",
+        run=E.experiment_e5_resilient_decider,
+        params=dict(f_values=(1, 2, 4), n=60, trials=1500, seed=0),
+    ),
+    Workload(
+        name="e6_amplification",
+        file="bench_e6_amplification.py",
+        run=E.experiment_e6_error_amplification,
+        params=dict(q=0.05, p=0.8, instance_size=12, nu_values=(1, 2, 4), trials=300, seed=0),
+    ),
+    Workload(
+        name="e7_separations",
+        file="bench_e7_separations.py",
+        run=E.experiment_e7_separations,
+        params=dict(n=24, deterministic_radius=2, trials=10_000, seed=0),
+        min_speedup=5.0,
+    ),
+    Workload(
+        name="e8_slack_vs_resilient",
+        file="bench_e8_slack_vs_resilient.py",
+        run=E.experiment_e8_slack_vs_resilient,
+        params=dict(n=24, eps=0.7, f_values=(1, 2, 4), trials=400, seed=0),
+    ),
+    Workload(
+        name="e9_far_acceptance",
+        file="bench_e9_far_acceptance.py",
+        run=E.experiment_e9_far_acceptance,
+        params=dict(q=0.3, p=0.8, instance_size=20, trials=300, seed=0),
+    ),
+    Workload(
+        name="e10_baselines",
+        file="bench_e10_baselines.py",
+        run=E.experiment_e10_baselines,
+        params=dict(sizes=(20, 60, 160, 400), degree=3, runs=5, seed=0),
+        engine_comparable=False,
+    ),
+]
+
+#: The throughput microbenchmark is special-cased: it measures its own
+#: speedups (per decider and engine mode) and keeps its historical ≥10× bar.
+THROUGHPUT_FILE = "bench_engine_throughput.py"
+THROUGHPUT_MIN_SPEEDUP = 10.0
+
+
+def check_registry_covers_directory() -> List[str]:
+    """Every bench_*.py must have a suite entry (and vice versa)."""
+    present = {path.name for path in BENCH_DIR.glob("bench_*.py")}
+    present.discard(Path(__file__).name)
+    registered = {workload.file for workload in WORKLOADS} | {THROUGHPUT_FILE}
+    problems = []
+    for missing in sorted(present - registered):
+        problems.append(f"bench file {missing} has no bench_suite workload")
+    for stale in sorted(registered - present):
+        problems.append(f"bench_suite workload references missing file {stale}")
+    return problems
+
+
+def _timed(fn: Callable[[], object]) -> Tuple[float, object]:
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def _median_timed(fn: Callable[[], object], repeats: int) -> Tuple[float, object]:
+    durations = []
+    result = None
+    for _ in range(max(1, repeats)):
+        duration, result = _timed(fn)
+        durations.append(duration)
+    return statistics.median(durations), result
+
+
+def run_suite(repeats: int, only: Optional[List[str]] = None) -> Dict[str, Dict[str, object]]:
+    records: Dict[str, Dict[str, object]] = {}
+    for workload in WORKLOADS:
+        if only and workload.name not in only:
+            continue
+        print(f"[bench] {workload.name} ({workload.file}) ...", flush=True)
+        record: Dict[str, object] = {
+            "file": workload.file,
+            "params": {key: list(value) if isinstance(value, tuple) else value
+                       for key, value in workload.params.items()},
+            "engine_comparable": workload.engine_comparable,
+            "repeats": repeats,
+            "min_speedup": workload.min_speedup,
+        }
+        if workload.engine_comparable:
+            # The reference pass is medianed like the engine pass: the gated
+            # metric is their ratio, so a single noisy off timing would put
+            # its full variance straight into the regression gate.
+            off_seconds, off_result = _median_timed(
+                lambda w=workload: w.run(engine="off", **w.params), repeats
+            )
+            median_seconds, result = _median_timed(
+                lambda w=workload: w.run(engine="fast", **w.params), repeats
+            )
+            record["off_seconds"] = round(off_seconds, 4)
+            record["median_seconds"] = round(median_seconds, 4)
+            record["speedup_vs_off"] = round(off_seconds / median_seconds, 2)
+            verdicts = {getattr(off_result, "matches_paper", None),
+                        getattr(result, "matches_paper", None)}
+            record["matches_paper"] = False not in verdicts and None not in verdicts
+        else:
+            median_seconds, result = _median_timed(
+                lambda w=workload: w.run(**w.params), repeats
+            )
+            record["off_seconds"] = None
+            record["median_seconds"] = round(median_seconds, 4)
+            record["speedup_vs_off"] = None
+            record["matches_paper"] = getattr(result, "matches_paper", None) is True
+        print(
+            f"[bench]   median {record['median_seconds']}s"
+            + (
+                f", off {record['off_seconds']}s, speedup {record['speedup_vs_off']}x"
+                if workload.engine_comparable
+                else ""
+            ),
+            flush=True,
+        )
+        records[workload.name] = record
+
+    if not only or "engine_throughput" in only:
+        print(f"[bench] engine_throughput ({THROUGHPUT_FILE}) ...", flush=True)
+        duration, speedups = _timed(_throughput_workload)
+        records["engine_throughput"] = {
+            "file": THROUGHPUT_FILE,
+            "params": {},
+            "engine_comparable": True,
+            "repeats": 1,
+            "min_speedup": THROUGHPUT_MIN_SPEEDUP,
+            "off_seconds": None,
+            "median_seconds": round(duration, 4),
+            "speedup_vs_off": round(min(speedups.values()), 2),
+            "per_mode_speedups": {key: round(value, 2) for key, value in speedups.items()},
+            "matches_paper": None,
+        }
+        print(
+            f"[bench]   median {records['engine_throughput']['median_seconds']}s, "
+            f"min speedup {records['engine_throughput']['speedup_vs_off']}x",
+            flush=True,
+        )
+    return records
+
+
+def enforce_floors(records: Dict[str, Dict[str, object]]) -> List[str]:
+    failures = []
+    for name, record in records.items():
+        floor = record.get("min_speedup")
+        speedup = record.get("speedup_vs_off")
+        if floor is not None and speedup is not None and speedup < floor:
+            failures.append(f"{name}: speedup {speedup}x below the required {floor}x")
+        if record.get("matches_paper") is False:
+            failures.append(f"{name}: experiment verdict failed during the benchmark")
+    return failures
+
+
+def check_against_baseline(
+    records: Dict[str, Dict[str, object]],
+    baseline_path: Path,
+    tolerance: float,
+    partial: bool = False,
+) -> List[str]:
+    """Speedup-ratio regression check against the committed baseline.
+
+    Absolute seconds differ across machines; the speedup of the engine path
+    over the reference path on the *same* host is the portable signal.
+    """
+    baseline = json.loads(baseline_path.read_text(encoding="utf8"))
+    failures = []
+    for name, reference in baseline.get("workloads", {}).items():
+        reference_speedup = reference.get("speedup_vs_off")
+        if reference_speedup is None:
+            continue  # no engine path: tracked, not gated
+        record = records.get(name)
+        if record is None:
+            if partial:
+                continue  # --only run: unmeasured workloads are not gated
+            failures.append(f"{name}: present in baseline but not measured")
+            continue
+        speedup = record.get("speedup_vs_off")
+        allowed = reference_speedup * (1.0 - tolerance)
+        if speedup is None or speedup < allowed:
+            failures.append(
+                f"{name}: speedup {speedup}x regressed more than "
+                f"{tolerance:.0%} below the baseline {reference_speedup}x "
+                f"(allowed ≥ {allowed:.2f}x)"
+            )
+    return failures
+
+
+def _payload(records: Dict[str, Dict[str, object]], tolerance: float) -> Dict[str, object]:
+    return {
+        "schema": 1,
+        "suite": "repro benchmark suite",
+        "regression_policy": {
+            "metric": "speedup_vs_off",
+            "tolerance": tolerance,
+            "note": (
+                "speedups (same-host engine-vs-reference ratios) are gated; "
+                "median seconds are recorded for trajectory tracking only"
+            ),
+        },
+        "workloads": records,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help=f"where to write BENCH.json (default: {DEFAULT_OUTPUT})")
+    parser.add_argument("--check", type=Path, nargs="?", const=DEFAULT_BASELINE,
+                        default=None, metavar="BASELINE",
+                        help="fail on speedup regression against a baseline JSON "
+                             f"(default path: {DEFAULT_BASELINE})")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed relative speedup regression (default: 0.30)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats per engine run; the median is kept (default: 3)")
+    parser.add_argument("--only", nargs="+", default=None,
+                        help="run only the named workloads")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help=f"write the measured suite to {DEFAULT_BASELINE}")
+    parser.add_argument("--list", action="store_true", help="list workloads and exit")
+    args = parser.parse_args(argv)
+
+    problems = check_registry_covers_directory()
+    if problems:
+        for problem in problems:
+            print(f"[bench] ERROR: {problem}", file=sys.stderr)
+        return 2
+
+    if args.list:
+        for workload in WORKLOADS:
+            floor = f" (min speedup {workload.min_speedup}x)" if workload.min_speedup else ""
+            print(f"{workload.name:<28}{workload.file}{floor}")
+        print(f"{'engine_throughput':<28}{THROUGHPUT_FILE} (min speedup "
+              f"{THROUGHPUT_MIN_SPEEDUP}x)")
+        return 0
+
+    records = run_suite(args.repeats, args.only)
+    payload = _payload(records, args.tolerance)
+    args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                           encoding="utf8")
+    print(f"[bench] wrote {args.output}")
+
+    if args.update_baseline:
+        DEFAULT_BASELINE.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                                    encoding="utf8")
+        print(f"[bench] wrote {DEFAULT_BASELINE}")
+
+    failures = enforce_floors(records)
+    if args.check is not None:
+        if args.check.exists():
+            failures.extend(
+                check_against_baseline(
+                    records, args.check, args.tolerance, partial=bool(args.only)
+                )
+            )
+        else:
+            failures.append(f"baseline {args.check} does not exist")
+    if failures:
+        for failure in failures:
+            print(f"[bench] FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("[bench] all floors and regression checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

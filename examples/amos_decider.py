@@ -43,7 +43,9 @@ def main() -> None:
             "selected nodes": selected_count,
             "in amos": amos.contains(configuration),
             "Pr[all accept]": acceptance,
-            "paper prediction": 1.0 if selected_count == 0 else golden_ratio_guarantee() ** selected_count,
+            "paper prediction": (
+                1.0 if selected_count == 0 else golden_ratio_guarantee() ** selected_count
+            ),
         })
     print(format_table(rows, title="Zero-round golden-ratio decider on the 30-cycle"))
 

@@ -53,7 +53,11 @@ def main() -> None:
             "CV proper": ProperColoring(3).contains(configuration),
             "random-coloring bad fraction": fraction_bad_nodes(ProperColoring(3), random_coloring),
         })
-    print(format_table(rows, title="3-coloring the cycle: Cole–Vishkin vs the 0-round random coloring"))
+    print(
+        format_table(
+            rows, title="3-coloring the cycle: Cole–Vishkin vs the 0-round random coloring"
+        )
+    )
     print()
 
     # ---------------------------------------------------------------- #
@@ -62,7 +66,9 @@ def main() -> None:
     families = {
         "random 3-regular (n=60)": random_regular_network(60, 3, seed=1),
         "grid 8x8": grid_network(8, 8),
-        "sparse G(n,p), deg≤5 (n=80)": bounded_degree_gnp_network(80, 0.05, max_degree=5, seed=2),
+        "sparse G(n,p), deg≤5 (n=80)": bounded_degree_gnp_network(
+            80, 0.05, max_degree=5, seed=2
+        ),
     }
     rows = []
     for name, network in families.items():

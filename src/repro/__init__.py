@@ -54,7 +54,7 @@ True
 True
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "local",

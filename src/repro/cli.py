@@ -45,8 +45,8 @@ QUICK_PARAMETERS: Dict[str, Dict[str, object]] = {
     # E2: the verdict needs the concentration of the largest size, so the
     # quick grid keeps one mid-sized cycle (90 was too small: eps=0.62 sat
     # within one sigma of the 5/9 mean bad fraction and failed spuriously).
-    "E2": {"sizes": (30, 300), "eps_values": (0.75, 0.65), "trials": 60},
-    "E3": {"n": 15},
+    "E2": {"sizes": (30, 300), "eps_values": (0.75, 0.65), "trials": 60, "decider_trials": 300},
+    "E3": {"n": 15, "trials": 300},
     "E4": {"sizes": (8, 64, 1024)},
     "E5": {"f_values": (1, 2), "n": 24, "trials": 400},
     "E6": {"nu_values": (1, 2, 4), "trials": 120, "instance_size": 8},
@@ -209,7 +209,7 @@ def _command_run(args: argparse.Namespace, stream) -> int:
             futures[experiment_id] = pool.submit(_run_experiment_worker, experiment_id, kwargs)
     plan_by_id = {experiment_id: (kwargs, key) for experiment_id, kwargs, key in plan}
 
-    failures = 0
+    failures: List[str] = []
     emitted: Dict[str, ExperimentResult] = {}
     try:
         for experiment_id in experiment_ids:
@@ -238,12 +238,22 @@ def _command_run(args: argparse.Namespace, stream) -> int:
             if args.output_dir is not None:
                 path = write_json(result, Path(args.output_dir) / f"{experiment_id.lower()}.json")
                 print(f"wrote {path}", file=stream)
-            if result.matches_paper is False:
-                failures += 1
+            # Anything but an affirmative verdict is a failure: an unset
+            # verdict (None) means the experiment never judged its claim,
+            # which CI must not mistake for a green run.
+            if result.matches_paper is not True:
+                failures.append(experiment_id)
     finally:
         if pool is not None:
             pool.shutdown(wait=False, cancel_futures=True)
-    return 1 if failures else 0
+    if failures:
+        print(
+            f"FAILED verdicts ({len(failures)}/{len(experiment_ids)}): "
+            + ", ".join(failures),
+            file=stream,
+        )
+        return 1
+    return 0
 
 
 def _command_report(args: argparse.Namespace, stream) -> int:

@@ -16,20 +16,19 @@ finite experiment can certify; what we provide instead are
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence
 
 from repro.core.decision import (
     AmosDecider,
+    AmplifiedAmosDecider,
     Decider,
     DeterministicDecider,
     estimate_guarantee,
 )
 from repro.core.languages import SELECTED, Amos, Configuration, DistributedLanguage
-from repro.graphs.families import cycle_network, path_network
+from repro.graphs.families import path_network
 from repro.local.ball import BallView
-from repro.local.network import Network
 
 __all__ = [
     "MembershipReport",
@@ -102,6 +101,7 @@ def empirical_bpld_membership(
     trials: int = 400,
     seed: int = 0,
     tolerance: float = 0.05,
+    engine: str = "auto",
 ) -> MembershipReport:
     """Check that a randomized decider achieves its guarantee on the workload.
 
@@ -116,7 +116,9 @@ def empirical_bpld_membership(
         required_guarantee = getattr(decider, "guarantee", None)
         if required_guarantee is None:
             raise ValueError("a required guarantee must be supplied")
-    estimate = estimate_guarantee(decider, language, configurations, trials=trials, seed=seed)
+    estimate = estimate_guarantee(
+        decider, language, configurations, trials=trials, seed=seed, engine=engine
+    )
     failures = [
         index
         for index, (_member, rate, _hw) in estimate.per_configuration.items()
@@ -141,6 +143,11 @@ class AmosSeparationReport:
 
     * ``randomized_guarantee``: empirical guarantee of the zero-round
       golden-ratio decider on the workload (should be ≈ 0.618).
+    * ``amplified_guarantee``: empirical guarantee of the multi-draw
+      :class:`~repro.core.decision.AmplifiedAmosDecider` on the same
+      workload (calibrated to the same ``p``, so it should also be ≈ 0.618).
+    * ``amplified_repetitions``: number of coins each selected node's
+      amplified majority vote consumes.
     * ``deterministic_radius``: the radius of the deterministic decider that
       was defeated.
     * ``deterministic_fooled``: whether the constructed far-apart
@@ -150,6 +157,8 @@ class AmosSeparationReport:
     """
 
     randomized_guarantee: float
+    amplified_guarantee: float
+    amplified_repetitions: int
     deterministic_radius: int
     deterministic_fooled: bool
     witness_diameter: int
@@ -180,6 +189,8 @@ def amos_separation_report(
     path_length: Optional[int] = None,
     trials: int = 2_000,
     seed: int = 0,
+    engine: str = "auto",
+    amplified_repetitions: int = 3,
 ) -> AmosSeparationReport:
     """Exhibit the amos separation for a given deterministic radius.
 
@@ -187,8 +198,12 @@ def amos_separation_report(
     greater than ``2·radius`` and checks that the radius-``radius``
     deterministic "window" decider accepts it although it is a no-instance —
     the concrete content of "amos cannot be deterministically decided in
-    ``D/2 − 1`` rounds".  Also measures the guarantee of the zero-round
-    randomized decider on a small workload containing the same instance.
+    ``D/2 − 1`` rounds".  Also measures, over ``trials`` Monte-Carlo runs
+    dispatched through ``engine``, the guarantee of the zero-round
+    randomized decider on a small workload containing the same instance —
+    both the single-coin golden-ratio decider and its multi-draw
+    ``amplified_repetitions``-coin majority amplification (calibrated to the
+    same guarantee).
     """
     if path_length is None:
         path_length = 2 * radius + 4
@@ -211,12 +226,22 @@ def amos_separation_report(
     )
     yes_zero = Configuration(network, {node: "" for node in nodes})
     amos = Amos()
-    decider = AmosDecider()
+    workload = [yes_one, yes_zero, no_instance]
     estimate = estimate_guarantee(
-        decider, amos, [yes_one, yes_zero, no_instance], trials=trials, seed=seed
+        AmosDecider(), amos, workload, trials=trials, seed=seed, engine=engine
+    )
+    amplified_estimate = estimate_guarantee(
+        AmplifiedAmosDecider(amplified_repetitions),
+        amos,
+        workload,
+        trials=trials,
+        seed=seed,
+        engine=engine,
     )
     return AmosSeparationReport(
         randomized_guarantee=estimate.guarantee,
+        amplified_guarantee=amplified_estimate.guarantee,
+        amplified_repetitions=amplified_repetitions,
         deterministic_radius=radius,
         deterministic_fooled=fooled,
         witness_diameter=network.diameter(),

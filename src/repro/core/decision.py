@@ -26,14 +26,29 @@ Concrete deciders:
 decider on a set of labelled configurations; experiment E1 and E5 are built
 on it.
 
+Multi-draw deciders (vote programs):
+
+* :class:`ProgramDecider` — base class for deciders whose per-node rule is
+  a Bernoulli circuit over the tape (:mod:`repro.engine.compiler` IR); the
+  reference ``vote`` *interprets* the program against the tape, so the
+  engine's compiled evaluation agrees with it by construction.
+* :class:`AmplifiedResilientDecider` — the Corollary 1 decider with each
+  bad-ball coin replaced by a majority vote of ``repetitions`` weaker
+  coins (per-node error amplification; same acceptance distribution, now a
+  genuine multi-draw program).  With ``f = ⌊ε·n⌋`` it also decides the
+  ε-slack relaxation on ``n``-node instances (experiment E2).
+* :class:`AmplifiedAmosDecider` — the amos decider with the selected-node
+  coin amplified the same way (experiment E7).
+
 Monte-Carlo entry points (:meth:`Decider.acceptance_probability`,
 :func:`estimate_guarantee`) take an ``engine=`` parameter and dispatch to
 the batched :mod:`repro.engine` subsystem whenever the decider exposes a
-compilable vote (``vote_probability(ball)`` — all three concrete deciders
-above do).  The default ``engine="auto"`` runs the engine's *exact* mode,
-which reproduces the per-node tape streams of the reference loop bit for
-bit; ``engine="fast"`` uses the fully vectorized sampler (distributionally
-equivalent), and ``engine="off"`` forces the reference loop.
+compilable vote — ``vote_program(ball)`` or the legacy single-Bernoulli
+``vote_probability(ball)``; all concrete deciders above do.  The default
+``engine="auto"`` runs the engine's *exact* mode, which reproduces the
+per-node tape streams of the reference loop bit for bit; ``engine="fast"``
+uses the fully vectorized chunked sampler (distributionally equivalent),
+and ``engine="off"`` forces the reference loop.
 """
 
 from __future__ import annotations
@@ -41,7 +56,7 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.core.languages import Configuration, DistributedLanguage, SELECTED
 from repro.core.lcl import LCLLanguage
@@ -49,6 +64,13 @@ from repro.engine.adapters import (
     engine_acceptance_probability,
     engine_success_counts,
     resolve_engine,
+)
+from repro.engine.compiler import (
+    Const,
+    ProgramCompilationError,
+    VoteExpr,
+    evaluate_vote_expr,
+    majority,
 )
 from repro.local.ball import BallView
 from repro.local.randomness import RandomTape, TapeFactory
@@ -60,19 +82,59 @@ __all__ = [
     "Decider",
     "DeterministicDecider",
     "RandomizedDecider",
+    "ProgramDecider",
     "LocalCheckerDecider",
     "AmosDecider",
     "ResilientDecider",
+    "AmplifiedResilientDecider",
+    "AmplifiedAmosDecider",
     "GuaranteeEstimate",
     "estimate_guarantee",
     "golden_ratio_guarantee",
     "resilient_probability_window",
+    "majority_success_probability",
+    "per_draw_probability_for_majority",
 ]
 
 
 def golden_ratio_guarantee() -> float:
     """The guarantee ``p = (√5 − 1)/2 ≈ 0.618`` of the amos decider."""
     return (math.sqrt(5.0) - 1.0) / 2.0
+
+
+def majority_success_probability(per_draw: float, repetitions: int) -> float:
+    """Pr[strict majority of ``repetitions`` i.i.d. coins of bias
+    ``per_draw`` succeeds] — the outcome distribution of one amplified
+    vote (binomial upper tail at ``repetitions // 2 + 1``)."""
+    if not 0.0 <= per_draw <= 1.0:
+        raise ValueError("the per-draw probability must lie in [0, 1]")
+    if repetitions < 1:
+        raise ValueError("need at least one repetition")
+    threshold = repetitions // 2 + 1
+    return float(
+        sum(
+            math.comb(repetitions, successes)
+            * per_draw**successes
+            * (1.0 - per_draw) ** (repetitions - successes)
+            for successes in range(threshold, repetitions + 1)
+        )
+    )
+
+
+def per_draw_probability_for_majority(target: float, repetitions: int) -> float:
+    """The per-draw bias whose ``repetitions``-coin majority succeeds with
+    probability ``target`` (inverse of :func:`majority_success_probability`,
+    by bisection — the tail is strictly increasing in the bias)."""
+    if not 0.0 < target < 1.0:
+        raise ValueError("the target probability must lie strictly inside (0, 1)")
+    low, high = 0.0, 1.0
+    for _ in range(200):
+        mid = (low + high) / 2.0
+        if majority_success_probability(mid, repetitions) < target:
+            low = mid
+        else:
+            high = mid
+    return (low + high) / 2.0
 
 
 def resilient_probability_window(f: int) -> Tuple[float, float]:
@@ -88,6 +150,28 @@ def resilient_probability_window(f: int) -> Tuple[float, float]:
     low = 2.0 ** (-1.0 / f)
     high = 2.0 ** (-1.0 / (f + 1))
     return (low, high)
+
+
+def _resilient_parameters(
+    f: int, acceptance_probability: Optional[float]
+) -> Tuple[float, float]:
+    """The Corollary 1 decider's ``(p, guarantee)`` for resilience ``f``.
+
+    Defaults ``p`` to the geometric mean of the open window and validates a
+    caller-supplied value against it; the guarantee is
+    ``min(p^f, 1 − p^{f+1}) > 1/2``.  Shared by the single-coin and the
+    amplified (multi-draw) resilient deciders so the two cannot diverge.
+    """
+    low, high = resilient_probability_window(f)
+    if acceptance_probability is None:
+        acceptance_probability = math.sqrt(low * high)
+    if not low < acceptance_probability < high:
+        raise ValueError(
+            f"acceptance probability must lie strictly inside "
+            f"({low:.6f}, {high:.6f}) for f={f}; got {acceptance_probability}"
+        )
+    p = float(acceptance_probability)
+    return p, min(p**f, 1.0 - p ** (f + 1))
 
 
 @dataclass
@@ -205,7 +289,14 @@ class Decider(ABC):
             return 1.0 if self.decide(configuration).accepted else 0.0
         mode = resolve_engine(engine, self)
         if mode != "off":
-            return engine_acceptance_probability(self, configuration, trials, seed, mode)
+            try:
+                return engine_acceptance_probability(self, configuration, trials, seed, mode)
+            except ProgramCompilationError:
+                # ``auto`` stays a safe default: a vote program the IR cannot
+                # express falls back to the reference loop, while an explicit
+                # engine request surfaces the error.
+                if engine != "auto":
+                    raise
         balls = self._balls_of(configuration)
         accepted = 0
         for trial in range(trials):
@@ -265,8 +356,10 @@ class RandomizedDecider(Decider):
 
     When the rule is a single Bernoulli decision on the ball (it consumes at
     most the tape's first draw), pass the matching ``vote_probability``
-    callable to make the decider compilable by :mod:`repro.engine`; leave it
-    unset for rules with richer coin usage, which must stay on the
+    callable to make the decider compilable by :mod:`repro.engine`; for
+    richer coin usage, pass the equivalent Bernoulli circuit as
+    ``vote_program`` (see :class:`ProgramDecider` for the contract).  Leave
+    both unset for rules beyond the engine IR, which must stay on the
     reference path.
     """
 
@@ -279,6 +372,7 @@ class RandomizedDecider(Decider):
         guarantee: float,
         name: str = "randomized-decider",
         vote_probability: Optional[Callable[[BallView], float]] = None,
+        vote_program: Optional[Callable[[BallView], VoteExpr]] = None,
     ) -> None:
         if not 0.5 < guarantee <= 1.0:
             raise ValueError("the guarantee p must lie in (1/2, 1]")
@@ -286,14 +380,37 @@ class RandomizedDecider(Decider):
         self.radius = int(radius)
         self.guarantee = float(guarantee)
         self.name = name
+        # Instance attributes, so `is_compilable` sees them only when given.
         if vote_probability is not None:
-            # Instance attribute, so `is_compilable` sees it only when given.
             self.vote_probability = vote_probability
+        if vote_program is not None:
+            self.vote_program = vote_program
 
     def vote(self, ball: BallView, tape: Optional[RandomTape] = None) -> bool:
         if tape is None:
             raise ValueError("a randomized decider needs a random tape")
         return bool(self._rule(ball, tape))
+
+
+class ProgramDecider(Decider):
+    """Base class for deciders defined by a per-node **vote program**.
+
+    Subclasses implement :meth:`vote_program`, mapping a ball to a Bernoulli
+    circuit over the node's tape (the :mod:`repro.engine.compiler` IR).  The
+    reference :meth:`vote` *interprets* that program against the tape, so
+    the engine's compiled evaluation is bit-identical to the reference path
+    by construction — there is no second hand-written rule to keep in sync.
+    """
+
+    randomized = True
+
+    def vote_program(self, ball: BallView) -> VoteExpr:
+        """The node's vote as a Bernoulli circuit (must consume the tape
+        exactly as the interpreted program does)."""
+        raise NotImplementedError
+
+    def vote(self, ball: BallView, tape: Optional[RandomTape] = None) -> bool:
+        return bool(evaluate_vote_expr(self.vote_program(ball), tape))
 
 
 class LocalCheckerDecider(DeterministicDecider):
@@ -372,20 +489,9 @@ class ResilientDecider(RandomizedDecider):
         f: int,
         acceptance_probability: Optional[float] = None,
     ) -> None:
-        low, high = resilient_probability_window(f)
-        if acceptance_probability is None:
-            acceptance_probability = math.sqrt(low * high)
-        if not low < acceptance_probability < high:
-            raise ValueError(
-                f"acceptance probability must lie strictly inside "
-                f"({low:.6f}, {high:.6f}) for f={f}; got {acceptance_probability}"
-            )
         self.language = language
         self.f = int(f)
-        self.p_bad_ball = float(acceptance_probability)
-        guarantee = min(
-            self.p_bad_ball**self.f, 1.0 - self.p_bad_ball ** (self.f + 1)
-        )
+        self.p_bad_ball, guarantee = _resilient_parameters(f, acceptance_probability)
         super().__init__(
             rule=self._vote,
             radius=language.radius,
@@ -409,6 +515,90 @@ class ResilientDecider(RandomizedDecider):
         """Exact Pr[all nodes accept] for a configuration with the given
         number of bad balls (the coins at distinct nodes are independent)."""
         return self.p_bad_ball ** int(bad_ball_count)
+
+
+class AmplifiedResilientDecider(ProgramDecider):
+    """The Corollary 1 decider with per-node error amplification — a genuine
+    **multi-draw** decider.
+
+    Each bad-ball node, instead of a single ``bernoulli(p)`` coin, takes the
+    strict majority of ``repetitions`` i.i.d. coins whose per-draw bias is
+    calibrated so the majority succeeds with exactly the same probability
+    ``p ∈ (2^{-1/f}, 2^{-1/(f+1)})`` (:func:`per_draw_probability_for_majority`).
+    The acceptance *distribution* is therefore identical to
+    :class:`ResilientDecider` — same guarantee, same closed form
+    ``p^{|F(G)|}`` — but the per-node rule consumes ``repetitions``
+    sequential tape draws, which exercises the engine's vote-program IR
+    (experiments E2 and E3 run this decider through the engine).
+
+    With ``f = ⌊ε·n⌋`` the same decider decides the ε-slack relaxation on
+    ``n``-node instances: an ε-slack instance *is* an f-resilient instance
+    once the instance size is fixed.
+    """
+
+    def __init__(
+        self,
+        language: LCLLanguage,
+        f: int,
+        repetitions: int = 3,
+        acceptance_probability: Optional[float] = None,
+    ) -> None:
+        repetitions = int(repetitions)
+        if repetitions < 1 or repetitions % 2 == 0:
+            raise ValueError("repetitions must be a positive odd number (majority vote)")
+        self.language = language
+        self.f = int(f)
+        self.repetitions = repetitions
+        self.p_bad_ball, self.guarantee = _resilient_parameters(f, acceptance_probability)
+        self.per_draw_probability = per_draw_probability_for_majority(
+            self.p_bad_ball, repetitions
+        )
+        self.radius = int(language.radius)
+        self.name = (
+            f"amplified-resilient-decider({language.name}, f={f}, k={repetitions})"
+        )
+        self._bad_ball_program = majority(repetitions, self.per_draw_probability)
+
+    def vote_program(self, ball: BallView) -> VoteExpr:
+        """Good balls accept surely; bad balls take the calibrated
+        ``repetitions``-coin majority."""
+        if not self.language.is_bad_ball(ball):
+            return Const(True)
+        return self._bad_ball_program
+
+    def theoretical_acceptance(self, bad_ball_count: int) -> float:
+        """Exact Pr[all nodes accept] with the given number of bad balls
+        (identical to the single-coin resilient decider by calibration)."""
+        return self.p_bad_ball ** int(bad_ball_count)
+
+
+class AmplifiedAmosDecider(ProgramDecider):
+    """The zero-round amos decider with the selected-node coin amplified.
+
+    Selected nodes take the strict majority of ``repetitions`` i.i.d. coins
+    calibrated so the majority accepts with exactly ``p = (√5 − 1)/2``;
+    non-selected nodes accept surely.  Distributionally identical to
+    :class:`AmosDecider` (guarantee ``p``), but each selected node consumes
+    ``repetitions`` sequential draws — the multi-draw workload of the E7
+    separation experiment.
+    """
+
+    def __init__(self, repetitions: int = 3) -> None:
+        repetitions = int(repetitions)
+        if repetitions < 1 or repetitions % 2 == 0:
+            raise ValueError("repetitions must be a positive odd number (majority vote)")
+        p = golden_ratio_guarantee()
+        self.repetitions = repetitions
+        self.guarantee = p
+        self.per_draw_probability = per_draw_probability_for_majority(p, repetitions)
+        self.radius = 0
+        self.name = f"amplified-amos-decider(k={repetitions})"
+        self._selected_program = majority(repetitions, self.per_draw_probability)
+
+    def vote_program(self, ball: BallView) -> VoteExpr:
+        if ball.center_output() != SELECTED:
+            return Const(True)
+        return self._selected_program
 
 
 # --------------------------------------------------------------------------- #
@@ -485,11 +675,17 @@ def estimate_guarantee(
     for index, configuration in enumerate(configurations):
         member = language.contains(configuration)
         runs = 1 if not decider.randomized else trials
+        successes: Optional[int] = None
         if mode != "off":
-            successes = engine_success_counts(
-                decider, configuration, member, runs, seed, index, mode
-            )
-        else:
+            try:
+                successes = engine_success_counts(
+                    decider, configuration, member, runs, seed, index, mode
+                )
+            except ProgramCompilationError:
+                if engine != "auto":
+                    raise
+                mode = "off"  # inexpressible program: degrade to the reference loop
+        if successes is None:
             successes = 0
             balls = decider._balls_of(configuration)
             for trial in range(runs):

@@ -32,12 +32,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Hashable, List, Optional, Sequence, Tuple
 
 from repro.core.construction import Constructor
 from repro.core.decision import Decider, DecisionOutcome
 from repro.core.languages import Configuration, DistributedLanguage
 from repro.engine.adapters import engine_single_trial_votes, resolve_engine
+from repro.engine.compiler import ProgramCompilationError
 from repro.graphs.operations import GlueResult, disjoint_union, glue_instances
 from repro.local.network import Network
 from repro.local.randomness import TapeFactory
@@ -259,18 +260,30 @@ def _decide_outcome(
     master_seed: int,
     salt: str,
     mode: str,
-) -> DecisionOutcome:
+    allow_fallback: bool = False,
+) -> Tuple[DecisionOutcome, str]:
     """One decider execution, through the engine when compiled.
 
     The engine's exact mode replays the tape streams of
     ``TapeFactory(master_seed, salt)`` bit for bit, so the two branches are
     interchangeable; the engine one skips per-node tape construction at
-    deterministically-voting nodes (usually almost all of them).
+    deterministically-voting nodes (usually almost all of them).  With
+    ``allow_fallback`` (the ``engine="auto"`` contract), a vote program the
+    IR cannot express degrades to the reference execution instead of
+    raising.  Returns the outcome together with the mode that actually ran,
+    so trial loops can latch onto the reference path instead of paying a
+    compile-and-raise on every trial.
     """
     if mode != "off":
-        votes = engine_single_trial_votes(decider, configuration, master_seed, salt)
-        return DecisionOutcome(votes=votes)
-    return decider.decide(configuration, tape_factory=TapeFactory(master_seed, salt=salt))
+        try:
+            votes = engine_single_trial_votes(decider, configuration, master_seed, salt)
+            return DecisionOutcome(votes=votes), mode
+        except ProgramCompilationError:
+            if not allow_fallback:
+                raise
+            mode = "off"
+    outcome = decider.decide(configuration, tape_factory=TapeFactory(master_seed, salt=salt))
+    return outcome, mode
 
 
 def far_acceptance_probability(
@@ -297,8 +310,13 @@ def far_acceptance_probability(
     for trial in range(trials):
         c_factory = TapeFactory(seed * 104_729 + trial, salt="far/construct")
         configuration = constructor.configuration(network, tape_factory=c_factory)
-        outcome = _decide_outcome(
-            decider, configuration, seed * 104_729 + trial, "far/decide", mode
+        outcome, mode = _decide_outcome(
+            decider,
+            configuration,
+            seed * 104_729 + trial,
+            "far/decide",
+            mode,
+            allow_fallback=engine == "auto",
         )
         accepted_far += int(outcome.accepted_far_from(configuration, node, distance))
     return accepted_far / trials
@@ -396,8 +414,13 @@ def _estimate_acceptance_and_membership(
         c_factory = TapeFactory(seed * 15_485_863 + trial, salt="amp/construct")
         configuration = constructor.configuration(network, tape_factory=c_factory)
         member += int(language.contains(configuration))
-        outcome = _decide_outcome(
-            decider, configuration, seed * 15_485_863 + trial, "amp/decide", mode
+        outcome, mode = _decide_outcome(
+            decider,
+            configuration,
+            seed * 15_485_863 + trial,
+            "amp/decide",
+            mode,
+            allow_fallback=engine == "auto",
         )
         accepted += int(outcome.accepted)
     return accepted / trials, member / trials

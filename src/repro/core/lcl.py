@@ -209,7 +209,10 @@ class MaximalIndependentSet(LCLLanguage):
 
     def is_bad_ball(self, ball: BallView) -> bool:
         in_set = bool(ball.center_output())
-        neighbor_flags = [bool(ball.outputs[u]) for u in ball.neighbors(ball.center)]  # type: ignore[index]
+        neighbor_flags = [
+            bool(ball.outputs[u])  # type: ignore[index]
+            for u in ball.neighbors(ball.center)
+        ]
         if in_set and any(neighbor_flags):
             return True
         if not in_set and not any(neighbor_flags):

@@ -29,14 +29,20 @@ Layers
 
 Fast path vs. reference path (guide for decider authors)
 --------------------------------------------------------
-A decider joins the fast path by exposing ``vote_probability(ball) ->
-float``: the probability that ``vote(ball, tape)`` returns ``True`` on a
-fresh tape.  The contract is that the vote is a *single Bernoulli decision*
-— it either ignores the tape entirely (probability 0 or 1) or consumes
-exactly the tape's first uniform draw via ``tape.bernoulli(p)`` /
-``tape.uniform()``.  Deciders with richer coin usage (multiple draws,
-draw-dependent control flow) must stay on the reference path; ``engine="auto"``
-detects this and falls back automatically, while ``engine="fast"``/``"exact"``
+A decider joins the fast path by exposing a **vote program**:
+``vote_program(ball) -> VoteExpr``, a Bernoulli circuit over the node's
+private tape built from the :mod:`repro.engine.compiler` combinators
+(``coin`` / ``const`` / ``all_of`` / ``any_of`` / ``neg`` / ``branch`` /
+``majority``).  The contract is that interpreting the program against a
+fresh tape (:func:`~repro.engine.compiler.evaluate_vote_expr`) behaves
+exactly like ``vote(ball, tape)`` — same result, same draws consumed —
+which is what keeps the exact mode bit-identical to the reference loop.
+The legacy single-Bernoulli contract ``vote_probability(ball) -> float``
+still compiles (it is the one-coin special case).  Deciders whose coin
+usage exceeds the IR (more than
+:data:`~repro.engine.compiler.MAX_PROGRAM_DRAWS` sequential draws) must
+stay on the reference path; ``engine="auto"`` falls back automatically for
+deciders exposing neither contract, while ``engine="fast"``/``"exact"``
 raise rather than misreport.  An equivalence test in ``tests/engine``
 asserts that both engine modes agree with the reference loop — exactly for
 ``exact`` mode, distributionally for ``fast`` mode.
@@ -50,8 +56,26 @@ from repro.engine.adapters import (
     resolve_engine,
 )
 from repro.engine.cache import ResultCache, cache_key, default_cache_dir
-from repro.engine.compiler import CompiledDecision, compile_decision, is_compilable
+from repro.engine.compiler import (
+    MAX_PROGRAM_DRAWS,
+    CompiledDecision,
+    ProgramCompilationError,
+    VoteExpr,
+    VoteProgram,
+    all_of,
+    any_of,
+    branch,
+    coin,
+    compile_decision,
+    const,
+    evaluate_vote_expr,
+    is_compilable,
+    lower_program,
+    majority,
+    neg,
+)
 from repro.engine.executor import (
+    DEFAULT_MAX_BYTES,
     accept_vector,
     acceptance_probability,
     exact_single_trial_votes,
@@ -60,20 +84,34 @@ from repro.engine.executor import (
 from repro.engine.parallel import ParallelSweepRunner, point_seed
 
 __all__ = [
+    "DEFAULT_MAX_BYTES",
     "ENGINE_CHOICES",
+    "MAX_PROGRAM_DRAWS",
     "CompiledDecision",
     "ParallelSweepRunner",
+    "ProgramCompilationError",
     "ResultCache",
+    "VoteExpr",
+    "VoteProgram",
     "accept_vector",
     "acceptance_probability",
+    "all_of",
+    "any_of",
+    "branch",
     "cache_key",
+    "coin",
     "compile_decision",
+    "const",
     "default_cache_dir",
     "engine_acceptance_probability",
     "engine_single_trial_votes",
     "engine_success_counts",
+    "evaluate_vote_expr",
     "exact_single_trial_votes",
     "is_compilable",
+    "lower_program",
+    "majority",
+    "neg",
     "point_seed",
     "resolve_engine",
     "vote_matrix",

@@ -10,19 +10,23 @@ between
   same accept/reject stream as the reference loop, minus the per-trial
   Python voting (the default everywhere: safe and already much faster on
   configurations whose balls are mostly deterministic);
-* ``engine="fast"`` — compile and run the fully vectorized sampler:
+* ``engine="fast"`` — compile and run the fully vectorized chunked sampler:
   distributionally equivalent, maximum throughput;
 * ``engine="off"`` — never used here; callers fall back to the reference
   loop themselves.
+
+Both multi-draw vote programs (``vote_program(ball)``) and the legacy
+single-Bernoulli contract (``vote_probability(ball)``) compile; see
+:mod:`repro.engine.compiler`.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Hashable, Sequence
+from typing import TYPE_CHECKING, Dict, Hashable
 
 import numpy as np
 
-from repro.engine.compiler import CompiledDecision, compile_decision, is_compilable
+from repro.engine.compiler import compile_decision, is_compilable
 from repro.engine.executor import (
     accept_vector,
     acceptance_probability,

@@ -46,7 +46,10 @@ def default_cache_dir() -> Path:
 def _canonical(value: object) -> object:
     """Make a parameter structure JSON-encodable and order-insensitive."""
     if isinstance(value, Mapping):
-        return {str(key): _canonical(val) for key, val in sorted(value.items(), key=lambda kv: str(kv[0]))}
+        return {
+            str(key): _canonical(val)
+            for key, val in sorted(value.items(), key=lambda kv: str(kv[0]))
+        }
     if isinstance(value, (list, tuple)):
         return [_canonical(item) for item in value]
     if isinstance(value, (str, int, float, bool)) or value is None:

@@ -1,41 +1,59 @@
 """Batched trial evaluation of compiled decisions.
 
-One Monte-Carlo trial of a compiled decider is a Bernoulli draw per
-coin-flipping node followed by a global AND; ``trials`` trials are therefore
-a single ``trials × coins`` uniform matrix compared against the per-node
-probabilities and reduced with :func:`numpy.ndarray.all`.  Two sampling modes
-are provided:
+One Monte-Carlo trial of a compiled decider runs every node's vote program
+(a small Bernoulli circuit, see :mod:`repro.engine.compiler`) and takes the
+global AND; ``trials`` trials are evaluated as stacked ``trials × coins``
+comparisons against the program thresholds.  Two sampling modes are
+provided:
 
 ``fast`` (default)
-    One vectorized :class:`numpy.random.Generator` drives the whole matrix.
-    The per-trial accept/reject stream differs from the legacy per-node-tape
-    path, but its distribution is identical (each cell is an independent
-    uniform compared against the same probability) — the equivalence test in
+    Each coin-flipping node draws its uniform block from its own
+    deterministically-derived :class:`numpy.random.Generator`.  The
+    per-trial accept/reject stream differs from the legacy per-node-tape
+    path, but its distribution is identical — the equivalence test in
     ``tests/engine`` checks this statistically and via the exact per-trial
     product :attr:`CompiledDecision.deterministic_accept_probability`.
+    Per-node generators also make the stream independent of the chunking
+    below: the same ``(seed, salt)`` yields the same accept vector for any
+    ``max_bytes``.
 
 ``exact``
     Bit-for-bit reproduction of the reference path: for trial ``i`` the
-    uniform of node ``v`` is the **first draw** of the tape
-    ``TapeFactory(trial_seed(i), salt).tape_for(identity(v))``, exactly the
-    stream :meth:`repro.core.decision.Decider.acceptance_probability` and
-    :func:`repro.core.decision.estimate_guarantee` consume.  Only nodes whose
-    vote is a genuine coin flip ever read their tape (matching the reference
-    voting rules, which return early on deterministic balls), so this mode
-    still skips the per-trial tape construction for every deterministic node
-    — usually the overwhelming majority.
+    ``k``-th uniform consumed by node ``v``'s program is the ``k``-th draw
+    of the tape ``TapeFactory(trial_seed(i), salt).tape_for(identity(v))``,
+    exactly the stream :meth:`repro.core.decision.Decider.acceptance_probability`
+    and :func:`repro.core.decision.estimate_guarantee` consume.  Only nodes
+    whose vote genuinely depends on draws ever read their tape (matching
+    the reference voting rules, which return early on deterministic balls),
+    so this mode still skips the per-trial tape construction for every
+    deterministic node — usually the overwhelming majority.
+
+Chunked execution
+-----------------
+The fast mode never materialises one giant ``trials × coins`` matrix: the
+coin-flipping nodes are processed in **column blocks** whose uniform
+working set stays below ``max_bytes`` (default :data:`DEFAULT_MAX_BYTES`,
+overridable per call or via ``$REPRO_ENGINE_MAX_BYTES``), carrying the
+per-trial accept vector across blocks and short-circuiting the remaining
+columns once every trial has rejected.  The exact mode is a per-trial walk
+and is memory-bounded by construction; its acceptance path short-circuits
+each trial at the first rejecting coin, exactly like the reference loop's
+early return (per-node draws are independent, so skipping later coins skips
+values that could not affect the conjunction).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+import os
+from typing import Callable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from repro.engine.compiler import CompiledDecision
+from repro.engine.compiler import ACCEPT, CompiledDecision, VoteProgram
 from repro.local.randomness import derive_seed
 
 __all__ = [
+    "DEFAULT_MAX_BYTES",
     "accept_vector",
     "vote_matrix",
     "acceptance_probability",
@@ -44,67 +62,22 @@ __all__ = [
 
 _MODES = ("fast", "exact")
 
-
-def _fast_generator(compiled: CompiledDecision, seed: int, salt: object) -> np.random.Generator:
-    """The fast mode's generator, decorrelated across deciders and salts."""
-    return np.random.default_rng(derive_seed(int(seed), "engine-fast", salt, compiled.decider_name))
+#: Default bound on the fast mode's uniform working set, in bytes.
+DEFAULT_MAX_BYTES = 64 * 1024 * 1024
 
 
-def _exact_uniforms(
-    compiled: CompiledDecision,
-    trials: int,
-    trial_seed: Callable[[int], int],
-    salt: object,
-) -> np.ndarray:
-    """The ``trials × coins`` uniform matrix of the reference tape streams.
-
-    Each cell is the first draw of the corresponding per-node tape; the tape
-    seeds go through the same SHA-256 derivation as
-    :class:`~repro.local.randomness.TapeFactory`, so equality with the
-    reference path is exact, not approximate.
-    """
-    random_positions = compiled.random_index
-    identities = compiled.identities[random_positions]
-    uniforms = np.empty((trials, len(random_positions)), dtype=np.float64)
-    for trial in range(trials):
-        master = int(trial_seed(trial))
-        for column, identity in enumerate(identities):
-            tape_seed = derive_seed(master, salt, int(identity))
-            uniforms[trial, column] = np.random.default_rng(tape_seed).random()
-    return uniforms
-
-
-def _exact_accepts(
-    compiled: CompiledDecision,
-    trials: int,
-    trial_seed: Callable[[int], int],
-    salt: object,
-) -> np.ndarray:
-    """Per-trial global acceptance under the reference tape streams.
-
-    Unlike :func:`_exact_uniforms` this short-circuits each trial at the
-    first rejecting coin — exactly like the reference loop's early return —
-    so on coin-heavy, low-acceptance configurations the exact mode never
-    costs more tape derivations per trial than the loop it replaces.  The
-    short-circuit cannot change the result: per-node draws are independent
-    (seeded by identity), so skipping later coins skips values that could
-    not affect the conjunction.
-    """
-    random_positions = compiled.random_index
-    coins = [
-        (int(compiled.identities[position]), float(compiled.probabilities[position]))
-        for position in random_positions
-    ]
-    accepted = np.zeros(trials, dtype=bool)
-    for trial in range(trials):
-        master = int(trial_seed(trial))
-        for identity, threshold in coins:
-            tape_seed = derive_seed(master, salt, identity)
-            if not np.random.default_rng(tape_seed).random() < threshold:
-                break
-        else:
-            accepted[trial] = True
-    return accepted
+def _resolve_max_bytes(max_bytes: Optional[int]) -> int:
+    if max_bytes is None:
+        raw = os.environ.get("REPRO_ENGINE_MAX_BYTES", "")
+        try:
+            max_bytes = int(raw) if raw else DEFAULT_MAX_BYTES
+        except ValueError:
+            raise ValueError(
+                f"$REPRO_ENGINE_MAX_BYTES must be a plain byte count, got {raw!r}"
+            ) from None
+    if max_bytes < 1:
+        raise ValueError("max_bytes must be positive")
+    return max_bytes
 
 
 def _resolve(
@@ -123,6 +96,164 @@ def _resolve(
     return salt, trial_seed
 
 
+# --------------------------------------------------------------------------- #
+# Fast mode: vectorized program evaluation over column blocks
+# --------------------------------------------------------------------------- #
+def _fast_node_generator(
+    compiled: CompiledDecision, position: int, seed: int, salt: object
+) -> np.random.Generator:
+    """One coin-flipping node's fast-mode generator, derived from the node
+    identity — so the stream a node sees is independent of which block (and
+    which ``max_bytes``) it lands in."""
+    return np.random.default_rng(
+        derive_seed(
+            int(seed),
+            "engine-fast",
+            salt,
+            compiled.decider_name,
+            int(compiled.identities[position]),
+        )
+    )
+
+
+def _evaluate_program_block(program: VoteProgram, uniforms: np.ndarray) -> np.ndarray:
+    """Evaluate one program on a ``trials × nodes × draws`` uniform block.
+
+    Runs the lowered decision DAG as a vectorized state machine: program
+    nodes are processed in decreasing index order (every edge goes from a
+    higher index to a lower one), each moving the trials currently at that
+    node along its true/false edge.
+    """
+    shape = uniforms.shape[:2]
+    if program.root < 0:
+        return np.full(shape, program.root == ACCEPT, dtype=bool)
+    state = np.full(shape, program.root, dtype=np.int32)
+    for node in range(program.root, -1, -1):
+        at_node = state == node
+        if not at_node.any():
+            continue
+        takes_true = uniforms[..., program.depths[node]] < program.thresholds[node]
+        state[at_node] = np.where(
+            takes_true[at_node], program.on_true[node], program.on_false[node]
+        )
+    return state == ACCEPT
+
+
+def _fast_column_blocks(
+    compiled: CompiledDecision,
+    positions: np.ndarray,
+    trials: int,
+    max_bytes: int,
+) -> Iterator[Tuple[VoteProgram, List[int]]]:
+    """Group the coin-flipping node positions into per-program column blocks
+    whose uniform working set stays below ``max_bytes``.
+
+    Positions are grouped by program (not by adjacency in node order), so
+    configurations with interleaved ball classes still evaluate each program
+    in a handful of vectorized passes.  The resulting streams are
+    block-independent anyway: every node draws from its own generator.
+    """
+    budget_draws = max(1, max_bytes // (8 * max(trials, 1)))
+    by_program: "dict[int, List[int]]" = {}
+    for position in positions:
+        by_program.setdefault(int(compiled.program_ids[position]), []).append(int(position))
+    for program_id, group in by_program.items():
+        program = compiled.programs[program_id]
+        width = max(1, budget_draws // max(program.max_draws, 1))
+        for start in range(0, len(group), width):
+            yield program, group[start : start + width]
+
+
+def _fast_votes_for(
+    compiled: CompiledDecision,
+    program: VoteProgram,
+    positions: List[int],
+    trials: int,
+    seed: int,
+    salt: object,
+    max_bytes: int,
+) -> np.ndarray:
+    """One program group's ``trials × len(positions)`` fast-mode votes.
+
+    The trial axis is sliced so the uniform working set also honours
+    ``max_bytes`` when a *single* node column at full ``trials`` would
+    already exceed it (the high-trial regime the bound exists for).  Each
+    node's generator is created once and consumed sequentially across
+    slices, so the values equal the unsliced generation exactly
+    (``Generator.random`` fills C-order): chunk-invariance holds on both
+    axes.
+    """
+    draws = max(program.max_draws, 1)
+    generators = [
+        _fast_node_generator(compiled, position, seed, salt) for position in positions
+    ]
+    votes = np.empty((trials, len(positions)), dtype=bool)
+    trial_block = max(1, max_bytes // (8 * len(positions) * draws))
+    for start in range(0, trials, trial_block):
+        stop = min(trials, start + trial_block)
+        uniforms = np.empty((stop - start, len(positions), draws), dtype=np.float64)
+        for column, generator in enumerate(generators):
+            uniforms[:, column, :] = generator.random((stop - start, draws))
+        votes[start:stop] = _evaluate_program_block(program, uniforms)
+    return votes
+
+
+# --------------------------------------------------------------------------- #
+# Exact mode: per-trial walks over the reference tape streams
+# --------------------------------------------------------------------------- #
+def _exact_walker(
+    compiled: CompiledDecision, position: int, master_seed: int, salt: object
+) -> Callable[[], float]:
+    """Sequential uniforms of one node's reference tape for one trial."""
+    tape_seed = derive_seed(int(master_seed), salt, int(compiled.identities[position]))
+    generator = np.random.default_rng(tape_seed)
+    return lambda: float(generator.random())
+
+
+def _exact_accepts(
+    compiled: CompiledDecision,
+    trials: int,
+    trial_seed: Callable[[int], int],
+    salt: object,
+) -> np.ndarray:
+    """Per-trial global acceptance under the reference tape streams,
+    short-circuiting each trial at the first rejecting coin."""
+    random_positions = compiled.random_index
+    coins = [(int(position), compiled.program_of(position)) for position in random_positions]
+    accepted = np.zeros(trials, dtype=bool)
+    for trial in range(trials):
+        master = int(trial_seed(trial))
+        for position, program in coins:
+            if not program.walk(_exact_walker(compiled, position, master, salt)):
+                break
+        else:
+            accepted[trial] = True
+    return accepted
+
+
+def _exact_votes(
+    compiled: CompiledDecision,
+    positions: np.ndarray,
+    trials: int,
+    trial_seed: Callable[[int], int],
+    salt: object,
+) -> np.ndarray:
+    """The ``trials × len(positions)`` vote matrix of the reference streams
+    (no short-circuit: every listed node is evaluated in every trial)."""
+    votes = np.empty((trials, len(positions)), dtype=bool)
+    programs = [compiled.program_of(position) for position in positions]
+    for trial in range(trials):
+        master = int(trial_seed(trial))
+        for column, (position, program) in enumerate(zip(positions, programs)):
+            votes[trial, column] = program.walk(
+                _exact_walker(compiled, position, master, salt)
+            )
+    return votes
+
+
+# --------------------------------------------------------------------------- #
+# Public entry points
+# --------------------------------------------------------------------------- #
 def accept_vector(
     compiled: CompiledDecision,
     trials: int,
@@ -130,16 +261,19 @@ def accept_vector(
     mode: str = "fast",
     trial_seed: Optional[Callable[[int], int]] = None,
     salt: Optional[object] = None,
+    max_bytes: Optional[int] = None,
 ) -> np.ndarray:
     """Per-trial global acceptance (``all`` over the node votes).
 
     Returns a boolean vector of length ``trials``.  Only the coin-flipping
-    columns are sampled; a deterministic reject anywhere short-circuits the
-    whole matrix to ``False``.
+    nodes are sampled; a deterministic reject anywhere short-circuits the
+    whole matrix to ``False``.  ``max_bytes`` bounds the fast mode's uniform
+    working set (see the module docstring).
     """
     if trials < 1:
         raise ValueError("trials must be positive")
     salt, trial_seed = _resolve(compiled, mode, seed, trial_seed, salt)
+    max_bytes = _resolve_max_bytes(max_bytes)
     if compiled.always_rejects:
         return np.zeros(trials, dtype=bool)
     random_positions = compiled.random_index
@@ -147,9 +281,15 @@ def accept_vector(
         return np.ones(trials, dtype=bool)
     if mode == "exact":
         return _exact_accepts(compiled, trials, trial_seed, salt)
-    thresholds = compiled.probabilities[random_positions]
-    uniforms = _fast_generator(compiled, seed, salt).random((trials, len(random_positions)))
-    return np.all(uniforms < thresholds, axis=1)
+    accepted = np.ones(trials, dtype=bool)
+    for program, positions in _fast_column_blocks(
+        compiled, random_positions, trials, max_bytes
+    ):
+        if not accepted.any():  # short-circuit carry: everything rejected
+            break
+        votes = _fast_votes_for(compiled, program, positions, trials, seed, salt, max_bytes)
+        accepted &= votes.all(axis=1)
+    return accepted
 
 
 def vote_matrix(
@@ -159,30 +299,35 @@ def vote_matrix(
     mode: str = "fast",
     trial_seed: Optional[Callable[[int], int]] = None,
     salt: Optional[object] = None,
+    max_bytes: Optional[int] = None,
 ) -> np.ndarray:
     """The full ``trials × nodes`` boolean vote matrix.
 
     Use :func:`accept_vector` when only global acceptance is needed — it
-    avoids materialising the deterministic columns and short-circuits exact
-    mode.  This entry point serves callers that reduce over *subsets* of the
-    node votes (the single-trial case is
-    :func:`exact_single_trial_votes`, which the derandomization loops use
-    for the Claim 4 far-acceptance events).
+    avoids materialising the deterministic columns and short-circuits.  This
+    entry point serves callers that reduce over *subsets* of the node votes
+    (the single-trial case is :func:`exact_single_trial_votes`, which the
+    derandomization loops use for the Claim 4 far-acceptance events).
     """
     if trials < 1:
         raise ValueError("trials must be positive")
     salt, trial_seed = _resolve(compiled, mode, seed, trial_seed, salt)
+    max_bytes = _resolve_max_bytes(max_bytes)
     votes = np.broadcast_to(compiled.probabilities >= 1.0, (trials, compiled.n_nodes)).copy()
     random_positions = compiled.random_index
-    if len(random_positions):
-        thresholds = compiled.probabilities[random_positions]
-        if mode == "fast":
-            uniforms = _fast_generator(compiled, seed, salt).random(
-                (trials, len(random_positions))
-            )
-        else:
-            uniforms = _exact_uniforms(compiled, trials, trial_seed, salt)
-        votes[:, random_positions] = uniforms < thresholds
+    if len(random_positions) == 0:
+        return votes
+    if mode == "exact":
+        votes[:, random_positions] = _exact_votes(
+            compiled, random_positions, trials, trial_seed, salt
+        )
+        return votes
+    for program, positions in _fast_column_blocks(
+        compiled, random_positions, trials, max_bytes
+    ):
+        votes[:, positions] = _fast_votes_for(
+            compiled, program, positions, trials, seed, salt, max_bytes
+        )
     return votes
 
 
@@ -193,10 +338,17 @@ def acceptance_probability(
     mode: str = "fast",
     trial_seed: Optional[Callable[[int], int]] = None,
     salt: Optional[object] = None,
+    max_bytes: Optional[int] = None,
 ) -> float:
     """Monte-Carlo Pr[all nodes accept] over ``trials`` batched trials."""
     accepted = accept_vector(
-        compiled, trials, seed=seed, mode=mode, trial_seed=trial_seed, salt=salt
+        compiled,
+        trials,
+        seed=seed,
+        mode=mode,
+        trial_seed=trial_seed,
+        salt=salt,
+        max_bytes=max_bytes,
     )
     return float(np.count_nonzero(accepted)) / trials
 
@@ -215,9 +367,12 @@ def exact_single_trial_votes(
     votes = compiled.probabilities >= 1.0
     random_positions = compiled.random_index
     if len(random_positions):
-        uniforms = _exact_uniforms(
-            compiled, 1, trial_seed=lambda _trial: int(master_seed), salt=salt
-        )[0]
         votes = votes.copy()
-        votes[random_positions] = uniforms < compiled.probabilities[random_positions]
+        votes[random_positions] = _exact_votes(
+            compiled,
+            random_positions,
+            1,
+            trial_seed=lambda _trial: int(master_seed),
+            salt=salt,
+        )[0]
     return votes

@@ -64,7 +64,9 @@ class TestRandomColoring:
         network = cycle_network(120)
         constructor = RandomColoringConstructor(3)
         relaxed = eps_slack(ProperColoring(3), 0.7)
-        estimate = estimate_success_probability(constructor, relaxed, [network], trials=200, seed=2)
+        estimate = estimate_success_probability(
+            constructor, relaxed, [network], trials=200, seed=2
+        )
         assert estimate.success_probability > 0.9
 
 

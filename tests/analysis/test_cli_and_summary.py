@@ -4,7 +4,6 @@
 from __future__ import annotations
 
 import io
-from pathlib import Path
 
 import pytest
 
@@ -122,3 +121,25 @@ class TestCliExecution:
 
     def test_report_empty_directory_fails(self, tmp_path):
         assert main(["report", "--results", str(tmp_path)], stream=io.StringIO()) == 1
+
+    def test_run_exits_nonzero_on_failed_verdict(self, monkeypatch):
+        from repro import cli
+
+        monkeypatch.setitem(
+            cli.ALL_EXPERIMENTS, "E1", lambda **kwargs: toy_result("E1", matches=False)
+        )
+        stream = io.StringIO()
+        assert main(["run", "E1", "--no-cache"], stream=stream) == 1
+        assert "FAILED verdicts (1/1): E1" in stream.getvalue()
+
+    def test_run_exits_nonzero_on_unset_verdict(self, monkeypatch):
+        """A verdict that was never judged must not read as green in CI."""
+        from repro import cli
+
+        def unjudged(**kwargs):
+            result = toy_result("E1", matches=True)
+            result.matches_paper = None
+            return result
+
+        monkeypatch.setitem(cli.ALL_EXPERIMENTS, "E1", unjudged)
+        assert main(["run", "E1", "--no-cache"], stream=io.StringIO()) == 1

@@ -49,7 +49,11 @@ class TestLDMembership:
 
         always_accept = DeterministicDecider(lambda ball: True, radius=0)
         bad_config = proper_three_coloring.with_outputs(
-            {proper_three_coloring.nodes()[0]: proper_three_coloring.output_of(proper_three_coloring.nodes()[1])}
+            {
+                proper_three_coloring.nodes()[0]: proper_three_coloring.output_of(
+                    proper_three_coloring.nodes()[1]
+                )
+            }
         )
         report = empirical_ld_membership(always_accept, ProperColoring(3), [bad_config])
         assert not report.holds

@@ -167,7 +167,9 @@ class TestRandomizedDecider:
             decider.vote(ball, None)
 
     def test_same_tape_factory_replays_same_outcome(self, small_cycle):
-        configuration = Configuration(small_cycle, {node: SELECTED for node in small_cycle.nodes()})
+        configuration = Configuration(
+            small_cycle, {node: SELECTED for node in small_cycle.nodes()}
+        )
         decider = AmosDecider()
         outcome_a = decider.decide(configuration, tape_factory=TapeFactory(3))
         outcome_b = decider.decide(configuration, tape_factory=TapeFactory(3))
@@ -252,7 +254,9 @@ class TestEstimateGuarantee:
 
     def test_member_and_non_member_rates_tracked(self, small_cycle):
         nodes = small_cycle.nodes()
-        one = Configuration(small_cycle, {node: (SELECTED if node == nodes[0] else "") for node in nodes})
+        one = Configuration(
+            small_cycle, {node: (SELECTED if node == nodes[0] else "") for node in nodes}
+        )
         two = Configuration(
             small_cycle,
             {node: (SELECTED if node in (nodes[0], nodes[4]) else "") for node in nodes},

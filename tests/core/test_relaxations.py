@@ -37,7 +37,9 @@ class TestFResilient:
         assert relaxed.contains(good) == base.contains(good)
         assert relaxed.contains(bad) == base.contains(bad)
 
-    @pytest.mark.parametrize("conflicts,f,expected", [(1, 2, True), (1, 1, False), (2, 4, True), (2, 3, False)])
+    @pytest.mark.parametrize(
+        "conflicts,f,expected", [(1, 2, True), (1, 1, False), (2, 4, True), (2, 3, False)]
+    )
     def test_membership_threshold(self, conflicts, f, expected):
         # Each planted conflict creates exactly two bad balls.
         configuration = cycle_coloring_with_conflicts(24, conflicts)
@@ -76,7 +78,9 @@ class TestEpsSlack:
 
     def test_eps_one_accepts_everything(self):
         relaxed = eps_slack(ProperColoring(3), 1.0)
-        terrible = Configuration(cycle_network(10), {node: 1 for node in cycle_network(10).nodes()})
+        terrible = Configuration(
+            cycle_network(10), {node: 1 for node in cycle_network(10).nodes()}
+        )
         # Note: configuration built on a fresh (equal) network instance.
         network = cycle_network(10)
         terrible = Configuration(network, {node: 1 for node in network.nodes()})

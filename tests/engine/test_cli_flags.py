@@ -71,9 +71,23 @@ class TestRunBehaviour:
         assert code == 0
         assert "cached result reused" not in out
 
-    def test_seedless_experiment_shares_cache_across_seeds(self, tmp_path):
-        """E3 takes no seed parameter, so --seed cannot change its result and
-        must not change its cache key."""
+    def test_seedless_experiment_shares_cache_across_seeds(self, tmp_path, monkeypatch):
+        """An experiment without a seed parameter cannot be changed by --seed,
+        so --seed must not change its cache key either.  (Every shipped
+        experiment now accepts a seed — E3 gained one with its engine-run
+        decider stage — so the behaviour is pinned with a synthetic one.)"""
+        from repro import cli
+        from repro.harness.results import ExperimentResult
+
+        def seedless_e3(n=15, trials=300):
+            result = ExperimentResult(
+                experiment_id="E3", title="seedless", paper_claim="cache-key pinning"
+            )
+            result.add_row(value=1)
+            result.matches_paper = True
+            return result
+
+        monkeypatch.setitem(cli.ALL_EXPERIMENTS, "E3", seedless_e3)
         base = ["run", "E3", "--quick", "--cache-dir", str(tmp_path)]
         run_cli(base)
         code, out = run_cli(base + ["--seed", "99"])

@@ -87,7 +87,9 @@ class TestExactModeBitIdentity:
         decider, configuration = CASES[0][1], CASES[0][2]
         for seed in (0, 5):
             off = decider.acceptance_probability(configuration, trials=80, seed=seed, engine="off")
-            auto = decider.acceptance_probability(configuration, trials=80, seed=seed, engine="auto")
+            auto = decider.acceptance_probability(
+                configuration, trials=80, seed=seed, engine="auto"
+            )
             exact = decider.acceptance_probability(
                 configuration, trials=80, seed=seed, engine="exact"
             )
@@ -96,7 +98,9 @@ class TestExactModeBitIdentity:
     def test_estimate_guarantee_engine_auto_equals_off(self):
         one = amos_configuration(15, {0})
         two = amos_configuration(15, {0, 7})
-        off = estimate_guarantee(AmosDecider(), Amos(), [one, two], trials=120, seed=9, engine="off")
+        off = estimate_guarantee(
+            AmosDecider(), Amos(), [one, two], trials=120, seed=9, engine="off"
+        )
         auto = estimate_guarantee(
             AmosDecider(), Amos(), [one, two], trials=120, seed=9, engine="auto"
         )
@@ -107,8 +111,12 @@ class TestExactModeBitIdentity:
         decider = ResilientDecider(language, f=2)
         relaxed = f_resilient(language, 2)
         configurations = [broken_coloring(18, 1), broken_coloring(18, 3)]
-        off = estimate_guarantee(decider, relaxed, configurations, trials=150, seed=3, engine="off")
-        auto = estimate_guarantee(decider, relaxed, configurations, trials=150, seed=3, engine="auto")
+        off = estimate_guarantee(
+            decider, relaxed, configurations, trials=150, seed=3, engine="off"
+        )
+        auto = estimate_guarantee(
+            decider, relaxed, configurations, trials=150, seed=3, engine="auto"
+        )
         assert off.per_configuration == auto.per_configuration
 
     def test_single_trial_votes_match_decide(self):

@@ -10,8 +10,6 @@ instead.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.harness.experiments import (
     ALL_EXPERIMENTS,
     experiment_e1_amos_decider,
@@ -48,30 +46,72 @@ class TestE1Amos:
 class TestE2EpsSlack:
     def test_small_scale_rows_and_mean_fraction(self):
         result = experiment_e2_eps_slack_random_coloring(
-            sizes=(30, 90), eps_values=(0.75,), trials=80, seed=2
+            sizes=(30, 90), eps_values=(0.75,), trials=80, decider_trials=400, seed=2
         )
-        assert len(result.rows) == 2
-        for row in result.rows:
+        construction_rows = [row for row in result.rows if "scenario" not in row]
+        decider_rows = [row for row in result.rows if "scenario" in row]
+        assert len(construction_rows) == 2
+        for row in construction_rows:
             assert 0.0 <= row["success_probability"] <= 1.0
             assert abs(row["mean_bad_fraction"] - row["expected_bad_fraction"]) < 0.15
         # With a generous slack of 0.75 even small cycles succeed almost surely.
-        assert all(row["success_probability"] > 0.8 for row in result.rows)
+        assert all(row["success_probability"] > 0.8 for row in construction_rows)
+        # The engine-backed decider cross-check: one yes and one no instance
+        # per eps, each matching the closed form p^{|F(G)|}.
+        assert {row["scenario"] for row in decider_rows} == {"decider/yes", "decider/no"}
+        for row in decider_rows:
+            assert abs(row["decider_acceptance"] - row["theoretical_acceptance"]) < 0.08
+            assert row["success_probability"] > 0.5
+            assert row["member"] == (row["bad_balls"] <= row["allowed_bad"])
 
     def test_default_verdict_criterion_applies_to_largest_size_only(self):
         result = experiment_e2_eps_slack_random_coloring(
-            sizes=(60, 120), eps_values=(0.75,), trials=80, seed=3
+            sizes=(60, 120), eps_values=(0.75,), trials=80, decider_trials=400, seed=3
         )
         assert result.matches_paper
+
+    def test_exact_engine_is_bit_identical_to_off(self):
+        kwargs = dict(
+            sizes=(30, 60), eps_values=(0.7,), trials=40, decider_trials=120, seed=11
+        )
+        off = experiment_e2_eps_slack_random_coloring(engine="off", **kwargs)
+        exact = experiment_e2_eps_slack_random_coloring(engine="exact", **kwargs)
+        assert off.rows == exact.rows
+        assert off.matches_paper == exact.matches_paper
+
+    def test_infeasible_no_instance_is_skipped_not_mislabelled(self):
+        """When the cycle cannot hold more than ⌊εn⌋ bad balls, the decider
+        stage must drop the no-instance instead of silently testing a second
+        yes-instance under the 'decider/no' label."""
+        result = experiment_e2_eps_slack_random_coloring(
+            sizes=(12,), eps_values=(0.75,), trials=30, decider_trials=100, seed=5
+        )
+        decider_rows = [row for row in result.rows if "scenario" in row]
+        assert {row["scenario"] for row in decider_rows} == {"decider/yes"}
+        assert all(row["member"] for row in decider_rows)
 
 
 class TestE3ResilientLowerBound:
     def test_small_scale_matches(self):
-        result = experiment_e3_resilient_lower_bound(n=15, radii=(0, 1), f_values=(1, 2))
+        result = experiment_e3_resilient_lower_bound(
+            n=15, radii=(0, 1), f_values=(1, 2), trials=400
+        )
         assert result.matches_paper
         radius_one = [row for row in result.rows if row["radius"] == 1][0]
         assert radius_one["algorithms"] == 27
         assert radius_one["min_bad_balls"] > 2
         assert radius_one["monochromatic_core"] is True
+        # The engine-run amplified decider rejects the best achievable output.
+        for row in result.rows:
+            for f in (1, 2):
+                assert row[f"decider_acceptance_f_{f}"] < 0.5
+
+    def test_exact_engine_is_bit_identical_to_off(self):
+        kwargs = dict(n=15, radii=(0, 1), f_values=(1, 2), trials=150, seed=12)
+        off = experiment_e3_resilient_lower_bound(engine="off", **kwargs)
+        exact = experiment_e3_resilient_lower_bound(engine="exact", **kwargs)
+        assert off.rows == exact.rows
+        assert off.matches_paper == exact.matches_paper
 
 
 class TestE4LogStar:
@@ -113,11 +153,23 @@ class TestE7Separations:
         assert by_language["3-coloring"]["constructible_in_O1"] is False
         assert by_language["majority"]["constructible_in_O1"] is True
         assert by_language["amos"]["decidable_in_O1"] is False
+        # The multi-draw (amplified) amos row rides along with the same verdict.
+        amplified = [row for row in result.rows if "amplified" in row["language"]]
+        assert len(amplified) == 1 and amplified[0]["decidable_in_O1"] is False
+
+    def test_exact_engine_is_bit_identical_to_off(self):
+        kwargs = dict(n=15, deterministic_radius=1, trials=200, seed=13)
+        off = experiment_e7_separations(engine="off", **kwargs)
+        exact = experiment_e7_separations(engine="exact", **kwargs)
+        assert off.rows == exact.rows
+        assert off.matches_paper == exact.matches_paper
 
 
 class TestE8SlackVsResilient:
     def test_small_scale_matches(self):
-        result = experiment_e8_slack_vs_resilient(n=15, eps=0.75, f_values=(1, 2), trials=120, seed=8)
+        result = experiment_e8_slack_vs_resilient(
+            n=15, eps=0.75, f_values=(1, 2), trials=120, seed=8
+        )
         assert result.matches_paper
         slack_rows = [row for row in result.rows if row["relaxation"].startswith("eps")]
         resilient_rows = [row for row in result.rows if row["relaxation"].startswith("f-")]

@@ -146,8 +146,10 @@ class TestCanonicalKeys:
         node = small_cycle.nodes()[0]
         ball_a = collect_ball(small_cycle, node, 1, outputs={n: 1 for n in small_cycle.nodes()})
         ball_b = collect_ball(small_cycle, node, 1, outputs={n: 2 for n in small_cycle.nodes()})
-        assert ball_a.canonical_key(include_outputs=True) != ball_b.canonical_key(include_outputs=True)
-        assert ball_a.canonical_key(include_outputs=False) == ball_b.canonical_key(include_outputs=False)
+        key_with = ball_a.canonical_key(include_outputs=True)
+        assert key_with != ball_b.canonical_key(include_outputs=True)
+        key_without = ball_a.canonical_key(include_outputs=False)
+        assert key_without == ball_b.canonical_key(include_outputs=False)
 
     def test_include_outputs_without_outputs_raises(self, small_cycle):
         ball = collect_ball(small_cycle, small_cycle.nodes()[0], 1)
