@@ -15,10 +15,12 @@ is checked on the **speedup** ratios (engine vs. reference on the *same*
 host, in the *same* run): ``--check`` fails when a workload's speedup drops
 more than ``--tolerance`` (default 30%) below the baseline's, or below its
 hard ``min_speedup`` floor (the E2/E3/E7 floors are the ≥5× acceptance
-criterion of the engine subsystem; the throughput microbenchmark keeps its
-≥10× guard).  Workloads without an engine path are reported for trajectory
-tracking but not gated.  Use ``--update-baseline`` after an intentional
-performance change.
+criterion of the decision engine; the E6 ≥10× / E8 ≥3× / E9 ≥10× floors are
+the acceptance criterion of the construction engine; the throughput
+microbenchmark keeps its ≥10× guard).  Workloads without an engine path are
+reported for trajectory tracking but not gated.  Use ``--update-baseline``
+after an intentional performance change, and ``--profile`` to print each
+workload's top-10 cumulative cProfile hotspots after the timed passes.
 
 Usage::
 
@@ -26,6 +28,7 @@ Usage::
     python benchmarks/bench_suite.py --check benchmarks/baseline.json
     python benchmarks/bench_suite.py --update-baseline
     python benchmarks/bench_suite.py --only e2_eps_slack --repeats 1
+    python benchmarks/bench_suite.py --only e6_amplification --profile
 """
 
 from __future__ import annotations
@@ -128,6 +131,7 @@ WORKLOADS: List[Workload] = [
         file="bench_e6_amplification.py",
         run=E.experiment_e6_error_amplification,
         params=dict(q=0.05, p=0.8, instance_size=12, nu_values=(1, 2, 4), trials=300, seed=0),
+        min_speedup=10.0,
     ),
     Workload(
         name="e7_separations",
@@ -141,12 +145,14 @@ WORKLOADS: List[Workload] = [
         file="bench_e8_slack_vs_resilient.py",
         run=E.experiment_e8_slack_vs_resilient,
         params=dict(n=24, eps=0.7, f_values=(1, 2, 4), trials=400, seed=0),
+        min_speedup=3.0,
     ),
     Workload(
         name="e9_far_acceptance",
         file="bench_e9_far_acceptance.py",
         run=E.experiment_e9_far_acceptance,
         params=dict(q=0.3, p=0.8, instance_size=20, trials=300, seed=0),
+        min_speedup=10.0,
     ),
     Workload(
         name="e10_baselines",
@@ -182,6 +188,33 @@ def _timed(fn: Callable[[], object]) -> Tuple[float, object]:
     return time.perf_counter() - start, result
 
 
+def _profile_workload(name: str, fn: Callable[[], object], top: int = 10) -> None:
+    """One extra run under cProfile, printing the ``top`` cumulative hotspots.
+
+    Run *in addition to* the timed passes (profiling overhead would distort
+    the gated speedup ratios), so the next perf PR starts from data rather
+    than guesses.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    fn()
+    profiler.disable()
+    stream = io.StringIO()
+    pstats.Stats(profiler, stream=stream).sort_stats("cumulative").print_stats(top)
+    print(f"[bench] --- cProfile top {top} (cumulative) for {name} ---")
+    # Skip the pstats preamble; keep the header row and the hotspot lines.
+    lines = stream.getvalue().splitlines()
+    start_index = next(
+        (i for i, line in enumerate(lines) if line.lstrip().startswith("ncalls")), 0
+    )
+    for line in lines[start_index : start_index + top + 1]:
+        print(f"[bench]   {line.rstrip()}")
+
+
 def _median_timed(fn: Callable[[], object], repeats: int) -> Tuple[float, object]:
     durations = []
     result = None
@@ -191,7 +224,11 @@ def _median_timed(fn: Callable[[], object], repeats: int) -> Tuple[float, object
     return statistics.median(durations), result
 
 
-def run_suite(repeats: int, only: Optional[List[str]] = None) -> Dict[str, Dict[str, object]]:
+def run_suite(
+    repeats: int,
+    only: Optional[List[str]] = None,
+    profile: bool = False,
+) -> Dict[str, Dict[str, object]]:
     records: Dict[str, Dict[str, object]] = {}
     for workload in WORKLOADS:
         if only and workload.name not in only:
@@ -239,6 +276,16 @@ def run_suite(repeats: int, only: Optional[List[str]] = None) -> Dict[str, Dict[
             flush=True,
         )
         records[workload.name] = record
+        if profile:
+            if workload.engine_comparable:
+                _profile_workload(
+                    workload.name,
+                    lambda w=workload: w.run(engine="fast", **w.params),
+                )
+            else:
+                _profile_workload(
+                    workload.name, lambda w=workload: w.run(**w.params)
+                )
 
     if not only or "engine_throughput" in only:
         print(f"[bench] engine_throughput ({THROUGHPUT_FILE}) ...", flush=True)
@@ -339,6 +386,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="timing repeats per engine run; the median is kept (default: 3)")
     parser.add_argument("--only", nargs="+", default=None,
                         help="run only the named workloads")
+    parser.add_argument("--profile", action="store_true",
+                        help="after timing, run each workload once under cProfile "
+                             "and print its top-10 cumulative hotspots")
     parser.add_argument("--update-baseline", action="store_true",
                         help=f"write the measured suite to {DEFAULT_BASELINE}")
     parser.add_argument("--list", action="store_true", help="list workloads and exit")
@@ -358,7 +408,7 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"{THROUGHPUT_MIN_SPEEDUP}x)")
         return 0
 
-    records = run_suite(args.repeats, args.only)
+    records = run_suite(args.repeats, args.only, profile=args.profile)
     payload = _payload(records, args.tolerance)
     args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
                            encoding="utf8")

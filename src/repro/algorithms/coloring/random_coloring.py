@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Dict, Hashable, Optional
 
 from repro.core.construction import BallConstructor
+from repro.engine.construct import UniformInt, uniform_int
 from repro.local.algorithm import BallAlgorithm
 from repro.local.ball import BallView
 from repro.local.randomness import RandomTape
@@ -45,6 +46,11 @@ class RandomColoringAlgorithm(BallAlgorithm):
         if tape is None:
             raise ValueError("the random coloring algorithm needs a random tape")
         return tape.randint(1, self.num_colors)
+
+    def output_program(self, ball: BallView) -> UniformInt:
+        """The construction-engine form of :meth:`compute`: one uniform
+        ``randint(1, num_colors)`` draw, independent of the ball."""
+        return uniform_int(1, self.num_colors)
 
 
 class RandomColoringConstructor(BallConstructor):

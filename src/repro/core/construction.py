@@ -29,6 +29,11 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, Optional, Sequence, Tuple
 
 from repro.core.languages import Configuration, DistributedLanguage
+from repro.engine.construct import (
+    ConstructionCompilationError,
+    batched_success_counts,
+    resolve_construction_engine,
+)
 from repro.local.algorithm import BallAlgorithm, LocalAlgorithm
 from repro.local.network import Network
 from repro.local.randomness import TapeFactory
@@ -200,22 +205,55 @@ def estimate_success_probability(
     networks: Sequence[Network],
     trials: int = 200,
     seed: int = 0,
+    engine: str = "auto",
 ) -> SuccessEstimate:
     """Estimate Pr[(G, (x, y)) ∈ L] for every instance.
 
     Deterministic constructors are executed once per instance; Monte-Carlo
     constructors are executed ``trials`` times with independent coins.
+
+    Trial ``t`` of instance ``index`` draws its coins from
+    ``TapeFactory(seed * 1_000_003 + t, salt=f"{constructor.name}/{index}")``.
+    **Adjacent seeds therefore share coins across trials** (seed ``s`` at
+    trial ``t + 1_000_003`` replays seed ``s + 1`` at trial ``t``); callers
+    wanting independent runs should use distant seeds (e.g. 0 and 10_000).
+
+    Compilable constructors (those exposing ``output_program(ball)``)
+    dispatch their trials to :mod:`repro.engine.construct`:
+    ``engine="auto"``/``"exact"`` replay the per-trial tape streams bit for
+    bit, ``engine="fast"`` is fully vectorized and distributionally
+    equivalent, ``engine="off"`` forces the reference loop.
     """
+    mode = resolve_construction_engine(engine, constructor)
     estimate = SuccessEstimate()
     for index, network in enumerate(networks):
         runs = trials if constructor.randomized else 1
-        successes = 0
-        for trial in range(runs):
-            factory = TapeFactory(
-                seed * 1_000_003 + trial, salt=f"{constructor.name}/{index}"
-            )
-            configuration = constructor.configuration(network, tape_factory=factory)
-            successes += int(language.contains(configuration))
+        successes = None
+        if mode != "off":
+            try:
+                successes = batched_success_counts(
+                    constructor,
+                    language,
+                    network,
+                    runs,
+                    seed_base=seed * 1_000_003,
+                    salt=f"{constructor.name}/{index}",
+                    mode=mode,
+                )
+            except ConstructionCompilationError:
+                # ``auto`` stays a safe default: a construction beyond the
+                # engine's shape degrades to the reference loop, while an
+                # explicit engine request surfaces the error.
+                if engine != "auto":
+                    raise
+        if successes is None:
+            successes = 0
+            for trial in range(runs):
+                factory = TapeFactory(
+                    seed * 1_000_003 + trial, salt=f"{constructor.name}/{index}"
+                )
+                configuration = constructor.configuration(network, tape_factory=factory)
+                successes += int(language.contains(configuration))
         estimate.per_instance[index] = (
             successes / runs,
             _wilson_half_width(successes, runs),

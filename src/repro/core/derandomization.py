@@ -39,6 +39,14 @@ from repro.core.decision import Decider, DecisionOutcome
 from repro.core.languages import Configuration, DistributedLanguage
 from repro.engine.adapters import engine_single_trial_votes, resolve_engine
 from repro.engine.compiler import ProgramCompilationError
+from repro.engine.construct import (
+    ConstructionCompilationError,
+    batched_acceptance_and_membership,
+    batched_far_acceptance,
+    batched_success_counts,
+    is_construction_compilable,
+    resolve_construction_engine,
+)
 from repro.graphs.operations import GlueResult, disjoint_union, glue_instances
 from repro.local.network import Network
 from repro.local.randomness import TapeFactory
@@ -219,6 +227,7 @@ def find_hard_instances(
     count: int,
     trials: int = 200,
     seed: int = 0,
+    engine: str = "auto",
 ) -> List[HardInstance]:
     """Search candidate instances for ones where ``C`` fails with probability
     at least ``β`` (the per-instance guarantee of Claim 2).
@@ -232,14 +241,34 @@ def find_hard_instances(
     that is the expected outcome and is, in effect, the proof failing to
     derive its contradiction.
     """
+    # No decider side here, so the *strict* resolver applies: an explicit
+    # engine request on a non-compilable randomized constructor raises
+    # rather than silently measuring the reference loop.
+    construction_mode = resolve_construction_engine(engine, constructor)
     found: List[HardInstance] = []
     for index, network in enumerate(candidates):
-        failures = 0
         runs = trials if constructor.randomized else 1
-        for trial in range(runs):
-            factory = TapeFactory(seed * 7_919 + trial, salt=f"hard/{index}")
-            configuration = constructor.configuration(network, tape_factory=factory)
-            failures += int(not language.contains(configuration))
+        failures = None
+        if construction_mode != "off":
+            try:
+                failures = runs - batched_success_counts(
+                    constructor,
+                    language,
+                    network,
+                    runs,
+                    seed_base=seed * 7_919,
+                    salt=f"hard/{index}",
+                    mode=construction_mode,
+                )
+            except ConstructionCompilationError:
+                if engine != "auto":
+                    raise
+        if failures is None:
+            failures = 0
+            for trial in range(runs):
+                factory = TapeFactory(seed * 7_919 + trial, salt=f"hard/{index}")
+                configuration = constructor.configuration(network, tape_factory=factory)
+                failures += int(not language.contains(configuration))
         rate = failures / runs
         if rate >= beta:
             found.append(HardInstance(network, rate, runs))
@@ -254,6 +283,25 @@ def find_hard_instances(
 # --------------------------------------------------------------------------- #
 # Far-acceptance probabilities and anchors (Claims 4 and 5)
 # --------------------------------------------------------------------------- #
+def _construction_mode(engine: str, constructor: Constructor) -> str:
+    """The constructor-side engine mode of a derandomization loop.
+
+    Unlike :func:`repro.engine.construct.resolve_construction_engine`, a
+    non-compilable constructor never raises here: these loops also carry a
+    decider side that may still honour an explicit engine request, so the
+    constructor side just degrades to the per-trial reference path.
+    """
+    from repro.engine.adapters import ENGINE_CHOICES
+
+    if engine not in ENGINE_CHOICES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINE_CHOICES}")
+    if engine == "off" or not getattr(constructor, "randomized", False):
+        return "off"
+    if not is_construction_compilable(constructor):
+        return "off"
+    return "exact" if engine == "auto" else engine
+
+
 def _decide_outcome(
     decider: Decider,
     configuration: Configuration,
@@ -300,12 +348,40 @@ def far_acceptance_probability(
 
     "Far from u" means every node at distance strictly greater than
     ``distance`` (the paper uses ``t + t'``) outputs true.  The probability
-    is over both the constructor's and the decider's coins.  The
-    configuration is rebuilt every trial (fresh constructor coins), so the
-    engine's role here is the per-trial decision step; ``engine="auto"``
-    remains bit-identical to ``"off"``.
+    is over both the constructor's and the decider's coins.  Trial ``t``
+    draws both sides' coins from master seed ``seed * 104_729 + t`` (salts
+    ``"far/construct"`` / ``"far/decide"``), so **adjacent seeds share coins
+    across trials** — use distant seeds for independent runs.
+
+    When the constructor compiles (:mod:`repro.engine.construct`) and the
+    decider fuses (radius 0, one coin per node), the whole estimate runs as
+    one batched construct→decide pass; otherwise the configuration is
+    rebuilt per trial and the engine's role is the per-trial decision step.
+    ``engine="auto"``/``"exact"`` remain bit-identical to ``"off"`` on both
+    paths.
     """
     mode = resolve_engine(engine, decider)
+    construction_mode = _construction_mode(engine, constructor)
+    if construction_mode != "off":
+        try:
+            batched = batched_far_acceptance(
+                constructor,
+                decider,
+                network,
+                [node],
+                distance,
+                trials,
+                seed_base=seed * 104_729,
+                construct_salt="far/construct",
+                decide_salt="far/decide",
+                mode=construction_mode,
+            )
+        except ConstructionCompilationError:
+            if engine != "auto":
+                raise
+            batched = None
+        if batched is not None:
+            return batched[node]
     accepted_far = 0
     for trial in range(trials):
         c_factory = TapeFactory(seed * 104_729 + trial, salt="far/construct")
@@ -338,27 +414,54 @@ def choose_anchor(
     acceptance probability at most ``1 − β(1−p)/μ``; choosing the empirical
     minimiser is the natural executable counterpart.  Returns the chosen node
     and its estimated far-acceptance probability.
+
+    The constructor's (and decider's) coins do not depend on the candidate —
+    every candidate is estimated at the same seed and salts — so on the
+    batched path **one** construction/vote matrix is shared by all
+    candidates, each reading its own far-node columns off the same votes;
+    this is bit-identical to the per-candidate loop, which replays the same
+    tape streams once per candidate.
     """
     if candidates is None:
         candidates = network.nodes()
-    best_node = None
-    best_probability = math.inf
-    for node in candidates:
-        probability = far_acceptance_probability(
-            constructor,
-            decider,
-            network,
-            node,
-            distance,
-            trials=trials,
-            seed=seed,
-            engine=engine,
-        )
-        if probability < best_probability:
-            best_probability = probability
-            best_node = node
-    assert best_node is not None
-    return best_node, best_probability
+    candidates = list(candidates)
+    if not candidates:
+        raise ValueError("choose_anchor needs at least one candidate node")
+    construction_mode = _construction_mode(engine, constructor)
+    probabilities: Optional[dict] = None
+    if construction_mode != "off":
+        try:
+            probabilities = batched_far_acceptance(
+                constructor,
+                decider,
+                network,
+                candidates,
+                distance,
+                trials,
+                seed_base=seed * 104_729,
+                construct_salt="far/construct",
+                decide_salt="far/decide",
+                mode=construction_mode,
+            )
+        except ConstructionCompilationError:
+            if engine != "auto":
+                raise
+    if probabilities is None:
+        probabilities = {
+            node: far_acceptance_probability(
+                constructor,
+                decider,
+                network,
+                node,
+                distance,
+                trials=trials,
+                seed=seed,
+                engine=engine,
+            )
+            for node in candidates
+        }
+    best_node = min(candidates, key=lambda node: probabilities[node])
+    return best_node, probabilities[best_node]
 
 
 # --------------------------------------------------------------------------- #
@@ -407,6 +510,35 @@ def _estimate_acceptance_and_membership(
     seed: int,
     engine: str = "auto",
 ) -> Tuple[float, float]:
+    """Empirical ``(Pr[D accepts C(G)], Pr[C(G) ∈ L])`` over ``trials`` runs.
+
+    Trial ``t`` draws both sides' coins from master seed
+    ``seed * 15_485_863 + t`` (salts ``"amp/construct"`` / ``"amp/decide"``),
+    so **adjacent seeds share coins across trials** — use distant seeds for
+    independent runs.  Compilable constructors with fusable deciders run the
+    whole estimate as one batched pass (exact mode bit-identical to the
+    reference loop); anything else falls back per trial.
+    """
+    construction_mode = _construction_mode(engine, constructor)
+    if construction_mode != "off":
+        try:
+            batched = batched_acceptance_and_membership(
+                constructor,
+                decider,
+                language,
+                network,
+                trials,
+                seed_base=seed * 15_485_863,
+                construct_salt="amp/construct",
+                decide_salt="amp/decide",
+                mode=construction_mode,
+            )
+        except ConstructionCompilationError:
+            if engine != "auto":
+                raise
+            batched = None
+        if batched is not None:
+            return batched
     mode = resolve_engine(engine, decider)
     accepted = 0
     member = 0

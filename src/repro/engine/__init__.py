@@ -19,6 +19,13 @@ Layers
 * :mod:`repro.engine.adapters` — drop-in counterparts of the legacy entry
   points, used by the ``engine=`` dispatch in :mod:`repro.core.decision`
   and :mod:`repro.core.derandomization`;
+* :mod:`repro.engine.construct` — the **construction engine**: compiles
+  constructors (``output_program(ball)`` contract) into vectorized per-node
+  draw programs producing the ``trials × nodes`` output matrix in one pass,
+  lowers language membership to array form, and fuses radius-0 single-coin
+  deciders on top, so the derandomization estimators (success probability,
+  far acceptance, the Claim 3/Theorem 1 amplification runs) need no
+  per-trial Python;
 * :mod:`repro.engine.parallel` — :class:`ParallelSweepRunner`, the
   process-pool counterpart of :func:`repro.analysis.sweep.sweep` with
   deterministic per-point seeding;
@@ -74,6 +81,23 @@ from repro.engine.compiler import (
     majority,
     neg,
 )
+from repro.engine.construct import (
+    MAX_OUTPUT_VALUES,
+    CompiledConstruction,
+    ConstructionCompilationError,
+    OutputExpr,
+    bernoulli_output,
+    compile_construction,
+    compile_fused_decision,
+    compile_membership,
+    const_output,
+    construction_matrix,
+    evaluate_output_expr,
+    is_construction_compilable,
+    resolve_construction_engine,
+    uniform_choice,
+    uniform_int,
+)
 from repro.engine.executor import (
     DEFAULT_MAX_BYTES,
     accept_vector,
@@ -86,8 +110,12 @@ from repro.engine.parallel import ParallelSweepRunner, point_seed
 __all__ = [
     "DEFAULT_MAX_BYTES",
     "ENGINE_CHOICES",
+    "MAX_OUTPUT_VALUES",
     "MAX_PROGRAM_DRAWS",
+    "CompiledConstruction",
     "CompiledDecision",
+    "ConstructionCompilationError",
+    "OutputExpr",
     "ParallelSweepRunner",
     "ProgramCompilationError",
     "ResultCache",
@@ -97,22 +125,33 @@ __all__ = [
     "acceptance_probability",
     "all_of",
     "any_of",
+    "bernoulli_output",
     "branch",
     "cache_key",
     "coin",
+    "compile_construction",
     "compile_decision",
+    "compile_fused_decision",
+    "compile_membership",
     "const",
+    "const_output",
+    "construction_matrix",
     "default_cache_dir",
     "engine_acceptance_probability",
     "engine_single_trial_votes",
     "engine_success_counts",
+    "evaluate_output_expr",
     "evaluate_vote_expr",
     "exact_single_trial_votes",
     "is_compilable",
+    "is_construction_compilable",
     "lower_program",
     "majority",
     "neg",
     "point_seed",
+    "resolve_construction_engine",
     "resolve_engine",
+    "uniform_choice",
+    "uniform_int",
     "vote_matrix",
 ]

@@ -60,6 +60,7 @@ from repro.core.order_invariant import (
     monochromatic_core,
 )
 from repro.core.relaxations import eps_slack, f_resilient
+from repro.engine.construct import bernoulli_output
 from repro.graphs.families import cycle_network, path_network
 from repro.graphs.random_graphs import random_regular_network
 from repro.harness.results import ExperimentResult
@@ -256,7 +257,7 @@ def experiment_e2_eps_slack_random_coloring(
         for eps in eps_values:
             relaxed = eps_slack(base, eps)
             estimate = estimate_success_probability(
-                constructor, relaxed, [network], trials=trials, seed=seed
+                constructor, relaxed, [network], trials=trials, seed=seed, engine=engine
             )
             result.add_row(
                 n=n,
@@ -532,12 +533,16 @@ def _toy_all_zeros_language() -> PredicateLCL:
 
 
 def _toy_faulty_constructor(q: float) -> BallConstructor:
+    # The rule and its ``output_program`` are the same single bernoulli(q)
+    # draw, which makes the constructor compilable by the construction
+    # engine (exact mode replays the reference coins bit for bit).
     return BallConstructor(
         FunctionBallAlgorithm(
             lambda ball, tape: 1 if tape.bernoulli(q) else 0,
             radius=0,
             randomized=True,
             name=f"faulty-all-zeros(q={q})",
+            output_program=lambda ball: bernoulli_output(q, 1, 0),
         )
     )
 
@@ -864,7 +869,7 @@ def experiment_e8_slack_vs_resilient(
 
     slack_language = eps_slack(base, eps)
     slack_estimate = estimate_success_probability(
-        constructor, slack_language, [network], trials=trials, seed=seed
+        constructor, slack_language, [network], trials=trials, seed=seed, engine=engine
     )
     # The decider column only applies to the f-resilient rows; it must still
     # appear in this first row because the table renderer derives its columns
@@ -892,7 +897,7 @@ def experiment_e8_slack_vs_resilient(
         resilient_language = f_resilient(base, f)
         deterministic_solvable = min_bad <= f
         randomized_estimate = estimate_success_probability(
-            constructor, resilient_language, [network], trials=trials, seed=seed + f
+            constructor, resilient_language, [network], trials=trials, seed=seed + f, engine=engine
         )
         # The Corollary 1 decider on the best order-invariant output: since
         # that output still has > f bad balls, it accepts w.p. p^{bad} < 1/2

@@ -140,7 +140,15 @@ class BallAlgorithm(ABC):
 
 class FunctionBallAlgorithm(BallAlgorithm):
     """Wrap a plain function ``ball -> output`` (or ``(ball, tape) -> output``)
-    as a :class:`BallAlgorithm`."""
+    as a :class:`BallAlgorithm`.
+
+    Pass ``output_program`` (a callable ``ball -> OutputExpr`` over the
+    :mod:`repro.engine.construct` IR) when the function is a single-draw map
+    from balls to outputs, to make constructors built on this algorithm
+    compilable by the construction engine; the contract is that interpreting
+    the returned program against a fresh tape behaves exactly like
+    ``fn(ball, tape)`` — same output, same draws consumed.
+    """
 
     def __init__(
         self,
@@ -148,11 +156,16 @@ class FunctionBallAlgorithm(BallAlgorithm):
         radius: int,
         name: str = "function-ball-algorithm",
         randomized: bool = False,
+        output_program: Optional[Callable] = None,
     ) -> None:
         self._fn = fn
         self.radius = int(radius)
         self.name = name
         self.randomized = bool(randomized)
+        # Instance attribute, so the construction engine's compilability
+        # probe sees it only when the caller actually supplied one.
+        if output_program is not None:
+            self.output_program = output_program
 
     def compute(self, ball: BallView, tape: Optional[RandomTape] = None) -> object:
         if self.randomized:

@@ -1,0 +1,512 @@
+"""The construction engine: IR semantics, bit-identity, chunking, lowering.
+
+Coverage for :mod:`repro.engine.construct`:
+
+* the output-program IR interprets exactly like the reference tape draws,
+  and the compiled **exact** mode replays the per-trial
+  ``TapeFactory(seed*K + trial, salt)`` streams bit for bit — checked at
+  *distant* seeds (the seed*K + trial convention makes adjacent seeds share
+  coins across trials) and under multiple salts;
+* the **fast** mode is distributionally correct (closed-form output
+  frequencies within Monte-Carlo tolerance) and chunk-invariant: the same
+  ``(seed, salt)`` yields the same ``trials × nodes`` matrix for any
+  ``max_bytes``;
+* membership lowering (radius-0 tables, proper-coloring neighbour checks,
+  f-resilient / ε-slack thresholds) agrees with the reference
+  ``language.contains`` on every sampled row;
+* decider fusion tabulates radius-0 single-coin deciders and refuses
+  multi-draw or positive-radius ones;
+* the ``engine=`` contract: ``auto`` degrades gracefully, explicit modes on
+  non-compilable constructors raise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.coloring.random_coloring import RandomColoringConstructor
+from repro.core.construction import BallConstructor, estimate_success_probability
+from repro.core.decision import AmplifiedResilientDecider
+from repro.core.derandomization import choose_anchor, far_acceptance_probability
+from repro.core.languages import Configuration
+from repro.core.lcl import NotAllEqualLLL, PredicateLCL, ProperColoring
+from repro.core.relaxations import eps_slack, f_resilient
+from repro.engine.construct import (
+    MAX_OUTPUT_VALUES,
+    ConstructionCompilationError,
+    batched_far_acceptance,
+    bernoulli_output,
+    compile_construction,
+    compile_fused_decision,
+    compile_membership,
+    const_output,
+    construction_matrix,
+    evaluate_output_expr,
+    is_construction_compilable,
+    resolve_construction_engine,
+    uniform_choice,
+    uniform_int,
+)
+from repro.graphs.families import cycle_network, path_network
+from repro.harness.experiments import (
+    _toy_all_zeros_language,
+    _toy_faulty_constructor,
+    _toy_noisy_decider,
+)
+from repro.local.algorithm import FunctionBallAlgorithm
+from repro.local.randomness import TapeFactory
+
+#: Distant seeds: the estimators derive trial masters as seed*K + trial, so
+#: adjacent seeds share coins across trials; tests must not compare or pool
+#: adjacent-seed runs as if independent.
+DISTANT_SEEDS = (0, 10_000)
+
+
+def reference_outputs(constructor, network, master_seed, salt):
+    """One reference construction run (the per-trial tape-stream path)."""
+    factory = TapeFactory(master_seed, salt=salt)
+    return constructor.construct(network, tape_factory=factory)
+
+
+# --------------------------------------------------------------------------- #
+# IR semantics
+# --------------------------------------------------------------------------- #
+class TestOutputExprSemantics:
+    @pytest.mark.parametrize("seed", [7, 10_007])
+    def test_interpreter_matches_tape_methods(self, seed):
+        """Interpreting a program consumes the tape exactly like the raw
+        draw methods — same values, same number of draws, in sequence."""
+        from repro.local.randomness import RandomTape
+
+        tape = RandomTape(seed)
+        mirror = RandomTape(seed)
+        assert evaluate_output_expr(uniform_int(1, 3), tape) == mirror.randint(1, 3)
+        choices = ("a", "b", "c")
+        assert evaluate_output_expr(uniform_choice(choices), tape) == mirror.choice(choices)
+        assert evaluate_output_expr(bernoulli_output(0.3, 1, 0), tape) == (
+            1 if mirror.bernoulli(0.3) else 0
+        )
+        # Degenerate biases still consume their draw (RandomTape.bernoulli
+        # always draws), keeping exact replay aligned.
+        assert evaluate_output_expr(bernoulli_output(0.0, 1, 0), tape) == 0
+        mirror.uniform()
+        assert evaluate_output_expr(const_output("x"), tape) == "x"
+        assert tape.draws == mirror.draws == 4
+
+    def test_const_needs_no_tape(self):
+        assert evaluate_output_expr(const_output(5), None) == 5
+        with pytest.raises(ValueError):
+            evaluate_output_expr(uniform_int(0, 1), None)
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            uniform_int(3, 1)
+        with pytest.raises(ValueError):
+            uniform_choice(())
+        with pytest.raises(ValueError):
+            bernoulli_output(1.5, 1, 0)
+
+
+# --------------------------------------------------------------------------- #
+# Exact-mode bit-identity
+# --------------------------------------------------------------------------- #
+class TestExactBitIdentity:
+    @pytest.mark.parametrize("seed", DISTANT_SEEDS)
+    @pytest.mark.parametrize("salt", ["random-3-coloring/0", "hard/2", "far/construct"])
+    def test_coloring_matrix_replays_reference_tapes(self, seed, salt):
+        network = cycle_network(18, ids="consecutive")
+        constructor = RandomColoringConstructor(3)
+        compiled = compile_construction(constructor, network)
+        trials = 25
+        seed_base = seed * 1_000_003
+        codes = construction_matrix(
+            compiled,
+            trials,
+            seed=seed_base,
+            mode="exact",
+            trial_seed=lambda trial: seed_base + trial,
+            salt=salt,
+        )
+        for trial in (0, 7, trials - 1):
+            expected = reference_outputs(constructor, network, seed_base + trial, salt)
+            assert compiled.decode_row(codes[trial]) == expected
+
+    @pytest.mark.parametrize("seed", DISTANT_SEEDS)
+    def test_bernoulli_matrix_replays_reference_tapes(self, seed):
+        network = cycle_network(12)
+        constructor = _toy_faulty_constructor(0.3)
+        compiled = compile_construction(constructor, network)
+        trials = 30
+        seed_base = seed * 104_729
+        codes = construction_matrix(
+            compiled,
+            trials,
+            seed=seed_base,
+            mode="exact",
+            trial_seed=lambda trial: seed_base + trial,
+            salt="far/construct",
+        )
+        for trial in range(0, trials, 5):
+            expected = reference_outputs(
+                constructor, network, seed_base + trial, "far/construct"
+            )
+            assert compiled.decode_row(codes[trial]) == expected
+
+    @pytest.mark.parametrize("seed", DISTANT_SEEDS)
+    def test_estimate_success_probability_exact_equals_off(self, seed):
+        network = cycle_network(21, ids="consecutive")
+        constructor = RandomColoringConstructor(3)
+        for language in (
+            ProperColoring(3),
+            eps_slack(ProperColoring(3), 0.7),
+            f_resilient(ProperColoring(3), 2),
+        ):
+            off = estimate_success_probability(
+                constructor, language, [network], trials=60, seed=seed, engine="off"
+            )
+            exact = estimate_success_probability(
+                constructor, language, [network], trials=60, seed=seed, engine="exact"
+            )
+            assert off.per_instance == exact.per_instance
+
+    @pytest.mark.parametrize("seed", DISTANT_SEEDS)
+    def test_far_acceptance_exact_equals_off(self, seed):
+        network = cycle_network(14)
+        constructor = _toy_faulty_constructor(0.3)
+        decider = _toy_noisy_decider(0.8)
+        node = network.nodes()[5]
+        off = far_acceptance_probability(
+            constructor, decider, network, node, 1, trials=80, seed=seed, engine="off"
+        )
+        exact = far_acceptance_probability(
+            constructor, decider, network, node, 1, trials=80, seed=seed, engine="exact"
+        )
+        assert off == exact
+
+    @pytest.mark.parametrize("seed", DISTANT_SEEDS)
+    def test_choose_anchor_shares_one_matrix_bit_identically(self, seed):
+        """The batched anchor choice (one construction pass for all
+        candidates) must agree exactly with the per-candidate reference."""
+        network = cycle_network(10)
+        constructor = _toy_faulty_constructor(0.4)
+        decider = _toy_noisy_decider(0.8)
+        off = choose_anchor(
+            constructor, decider, network, 0, trials=50, seed=seed, engine="off"
+        )
+        exact = choose_anchor(
+            constructor, decider, network, 0, trials=50, seed=seed, engine="exact"
+        )
+        assert off == exact
+
+
+# --------------------------------------------------------------------------- #
+# Fast mode: distribution and chunk invariance
+# --------------------------------------------------------------------------- #
+class TestFastMode:
+    def test_output_frequencies_match_closed_form(self):
+        network = cycle_network(30)
+        constructor = RandomColoringConstructor(3)
+        compiled = compile_construction(constructor, network)
+        trials = 6_000
+        codes = construction_matrix(compiled, trials, seed=5, mode="fast")
+        # Each color appears with probability 1/3 at every node.
+        for code in range(3):
+            frequency = float(np.count_nonzero(codes == code)) / codes.size
+            assert abs(frequency - 1.0 / 3.0) < 0.02
+
+    def test_bernoulli_frequency_matches_q(self):
+        network = cycle_network(20)
+        q = 0.3
+        constructor = _toy_faulty_constructor(q)
+        compiled = compile_construction(constructor, network)
+        codes = construction_matrix(compiled, 5_000, seed=3, mode="fast")
+        one = compiled.values.index(1)
+        frequency = float(np.count_nonzero(codes == one)) / codes.size
+        assert abs(frequency - q) < 0.02
+
+    @pytest.mark.parametrize("max_bytes", [64, 4096, 1 << 20])
+    def test_matrix_is_chunk_invariant(self, max_bytes):
+        network = cycle_network(24, ids="consecutive")
+        constructor = RandomColoringConstructor(3)
+        compiled = compile_construction(constructor, network)
+        reference = construction_matrix(
+            compiled, 500, seed=9, mode="fast", salt="chunk", max_bytes=1 << 30
+        )
+        chunked = construction_matrix(
+            compiled, 500, seed=9, mode="fast", salt="chunk", max_bytes=max_bytes
+        )
+        assert np.array_equal(reference, chunked)
+
+    def test_fused_vote_matrix_is_chunk_invariant(self):
+        network = cycle_network(16)
+        constructor = _toy_faulty_constructor(0.4)
+        decider = _toy_noisy_decider(0.8)
+        compiled = compile_construction(constructor, network)
+        fused = compile_fused_decision(decider, compiled)
+        codes = construction_matrix(compiled, 400, seed=2, mode="fast", salt="s")
+        reference = fused.vote_matrix_fast(codes, 2, "d", max_bytes=1 << 30)
+        for max_bytes in (64, 4096):
+            assert np.array_equal(
+                reference, fused.vote_matrix_fast(codes, 2, "d", max_bytes=max_bytes)
+            )
+
+    def test_fast_acceptance_tracks_closed_form(self):
+        """With the all-zeros language and the noisy decider, acceptance is
+        ((1-q) + q(1-p))^n exactly (independent nodes, one coin each)."""
+        q, p, n = 0.1, 0.8, 12
+        network = cycle_network(n)
+        from repro.core.derandomization import _estimate_acceptance_and_membership
+
+        acceptance, membership = _estimate_acceptance_and_membership(
+            _toy_faulty_constructor(q),
+            _toy_noisy_decider(p),
+            _toy_all_zeros_language(),
+            network,
+            6_000,
+            seed=4,
+            engine="fast",
+        )
+        closed_acceptance = ((1 - q) + q * (1 - p)) ** n
+        closed_membership = (1 - q) ** n
+        assert abs(acceptance - closed_acceptance) < 0.02
+        assert abs(membership - closed_membership) < 0.02
+
+
+# --------------------------------------------------------------------------- #
+# Membership lowering
+# --------------------------------------------------------------------------- #
+class TestMembershipLowering:
+    @pytest.mark.parametrize(
+        "language_factory",
+        [
+            lambda: ProperColoring(3),
+            lambda: ProperColoring(None),
+            lambda: eps_slack(ProperColoring(3), 0.6),
+            lambda: f_resilient(ProperColoring(3), 2),
+        ],
+    )
+    def test_proper_coloring_family_matches_reference(self, language_factory):
+        language = language_factory()
+        network = path_network(13, ids="consecutive")
+        constructor = RandomColoringConstructor(4)
+        compiled = compile_construction(constructor, network)
+        membership = compile_membership(language, compiled)
+        assert membership is not None
+        codes = construction_matrix(compiled, 200, seed=6, mode="fast")
+        lowered = membership.member_vector(codes)
+        for trial in range(0, 200, 17):
+            configuration = Configuration(network, compiled.decode_row(codes[trial]))
+            assert bool(lowered[trial]) == language.contains(configuration)
+
+    def test_radius_zero_table_matches_reference(self):
+        language = _toy_all_zeros_language()
+        network = cycle_network(9)
+        constructor = _toy_faulty_constructor(0.5)
+        compiled = compile_construction(constructor, network)
+        membership = compile_membership(language, compiled)
+        assert membership is not None
+        codes = construction_matrix(compiled, 100, seed=8, mode="fast")
+        lowered = membership.member_vector(codes)
+        counts = membership.bad_counts(codes)
+        for trial in range(100):
+            configuration = Configuration(network, compiled.decode_row(codes[trial]))
+            assert bool(lowered[trial]) == language.contains(configuration)
+            assert int(counts[trial]) == language.violation_count(configuration)
+
+    def test_inexpressible_language_returns_none_and_falls_back(self):
+        """A radius-1 LCL outside the lowered shapes (not-all-equal) has no
+        array form; the batched estimators still work through the decoded
+        per-trial fallback and stay bit-identical in exact mode."""
+        network = cycle_network(9)
+        constructor = _toy_faulty_constructor(0.5)
+        compiled = compile_construction(constructor, network)
+        assert compile_membership(NotAllEqualLLL(), compiled) is None
+        for seed in DISTANT_SEEDS:
+            off = estimate_success_probability(
+                constructor, NotAllEqualLLL(), [network], trials=40, seed=seed,
+                engine="off",
+            )
+            exact = estimate_success_probability(
+                constructor, NotAllEqualLLL(), [network], trials=40, seed=seed,
+                engine="exact",
+            )
+            assert off.per_instance == exact.per_instance
+
+
+# --------------------------------------------------------------------------- #
+# Decider fusion
+# --------------------------------------------------------------------------- #
+class TestFusedDecision:
+    def test_single_coin_decider_fuses(self):
+        network = cycle_network(8)
+        compiled = compile_construction(_toy_faulty_constructor(0.2), network)
+        fused = compile_fused_decision(_toy_noisy_decider(0.8), compiled)
+        assert fused is not None
+        # Output 0 accepts surely; output 1 takes one coin of bias 1 - p.
+        zero = compiled.values.index(0)
+        one = compiled.values.index(1)
+        assert np.all(fused.draws[:, zero] == 0)
+        assert np.all(fused.on_true[:, zero])
+        assert np.all(fused.draws[:, one] == 1)
+        assert np.allclose(fused.thresholds[:, one], 0.2)
+
+    def test_multi_draw_decider_does_not_fuse(self):
+        network = cycle_network(9, ids="consecutive")
+        compiled = compile_construction(RandomColoringConstructor(3), network)
+        # The amplified resilient decider consumes k draws per bad ball and
+        # checks radius 1 — fusion must decline on both counts.
+        decider = AmplifiedResilientDecider(ProperColoring(3), f=2, repetitions=3)
+        assert compile_fused_decision(decider, compiled) is None
+
+    def test_batched_far_acceptance_declines_without_fusion(self):
+        network = cycle_network(9, ids="consecutive")
+        decider = AmplifiedResilientDecider(ProperColoring(3), f=2, repetitions=3)
+        assert (
+            batched_far_acceptance(
+                RandomColoringConstructor(3),
+                decider,
+                network,
+                [network.nodes()[0]],
+                0,
+                10,
+                seed_base=0,
+                construct_salt="c",
+                decide_salt="d",
+                mode="exact",
+            )
+            is None
+        )
+
+
+# --------------------------------------------------------------------------- #
+# The engine= contract
+# --------------------------------------------------------------------------- #
+class TestEngineContract:
+    def test_compilability_probe(self):
+        assert is_construction_compilable(RandomColoringConstructor(3))
+        assert is_construction_compilable(_toy_faulty_constructor(0.1))
+        plain = BallConstructor(
+            FunctionBallAlgorithm(
+                lambda ball, tape: tape.bit(), radius=0, randomized=True, name="plain"
+            )
+        )
+        assert not is_construction_compilable(plain)
+
+    def test_auto_degrades_and_explicit_raises(self):
+        plain = BallConstructor(
+            FunctionBallAlgorithm(
+                lambda ball, tape: tape.bit(), radius=0, randomized=True, name="plain"
+            )
+        )
+        assert resolve_construction_engine("auto", plain) == "off"
+        with pytest.raises(TypeError):
+            resolve_construction_engine("fast", plain)
+        with pytest.raises(ValueError):
+            resolve_construction_engine("warp", plain)
+        network = cycle_network(6)
+        language = _toy_all_zeros_language()
+        # auto on a non-compilable constructor: reference loop, no error.
+        estimate = estimate_success_probability(
+            plain, language, [network], trials=10, seed=0, engine="auto"
+        )
+        assert 0.0 <= estimate.success_probability <= 1.0
+        with pytest.raises(TypeError):
+            estimate_success_probability(
+                plain, language, [network], trials=10, seed=0, engine="fast"
+            )
+
+    def test_find_hard_instances_is_strict_without_a_decider_side(self):
+        """find_hard_instances has no decider side, so an explicit engine
+        request on a non-compilable constructor must raise, not silently
+        measure the reference loop."""
+        from repro.core.derandomization import find_hard_instances
+
+        plain = BallConstructor(
+            FunctionBallAlgorithm(
+                lambda ball, tape: tape.bit(), radius=0, randomized=True, name="plain"
+            )
+        )
+        language = _toy_all_zeros_language()
+        with pytest.raises(TypeError):
+            find_hard_instances(
+                plain, language, [cycle_network(6)], beta=0.1, count=1,
+                trials=10, seed=0, engine="fast",
+            )
+        # auto still degrades gracefully (the instance is genuinely hard).
+        found = find_hard_instances(
+            plain, language, [cycle_network(6)], beta=0.1, count=1,
+            trials=10, seed=0, engine="auto",
+        )
+        assert len(found) == 1
+
+    def test_deterministic_constructor_validates_engine_name_only(self):
+        """A deterministic constructor has no coins to batch: any valid
+        engine value runs the single reference pass, but a bogus name still
+        raises."""
+        deterministic = BallConstructor(
+            FunctionBallAlgorithm(lambda ball: 0, radius=0, name="zeros")
+        )
+        network = cycle_network(6)
+        language = _toy_all_zeros_language()
+        for engine in ("auto", "exact", "fast", "off"):
+            estimate = estimate_success_probability(
+                deterministic, language, [network], trials=10, seed=0, engine=engine
+            )
+            assert estimate.success_probability == 1.0
+        with pytest.raises(ValueError):
+            estimate_success_probability(
+                deterministic, language, [network], trials=10, seed=0, engine="bogus"
+            )
+
+    def test_coloring_counter_is_chunk_invariant_under_tiny_budgets(self):
+        network = cycle_network(15, ids="consecutive")
+        constructor = RandomColoringConstructor(3)
+        compiled = compile_construction(constructor, network)
+        codes = construction_matrix(compiled, 300, seed=11, mode="fast")
+        reference = compile_membership(ProperColoring(3), compiled).bad_counts(codes)
+        tiny = compile_membership(
+            ProperColoring(3), compiled, max_bytes=64
+        ).bad_counts(codes)
+        assert np.array_equal(reference, tiny)
+
+    def test_oversized_alphabet_raises_clear_error(self):
+        constructor = BallConstructor(
+            FunctionBallAlgorithm(
+                lambda ball, tape: tape.randint(0, MAX_OUTPUT_VALUES),
+                radius=0,
+                randomized=True,
+                name="huge-alphabet",
+                output_program=lambda ball: uniform_int(0, MAX_OUTPUT_VALUES),
+            )
+        )
+        with pytest.raises(ConstructionCompilationError):
+            compile_construction(constructor, cycle_network(4))
+
+    def test_unhashable_output_raises_clear_error(self):
+        constructor = BallConstructor(
+            FunctionBallAlgorithm(
+                lambda ball, tape: [1] if tape.bernoulli(0.5) else [0],
+                radius=0,
+                randomized=True,
+                name="unhashable",
+                output_program=lambda ball: bernoulli_output(0.5, [1], [0]),
+            )
+        )
+        with pytest.raises(ConstructionCompilationError):
+            compile_construction(constructor, cycle_network(4))
+
+    def test_equal_values_share_a_code(self):
+        """Interning follows value equality (True == 1), matching the ==
+        comparisons of the reference membership predicates."""
+        constructor = BallConstructor(
+            FunctionBallAlgorithm(
+                lambda ball, tape: True if tape.bernoulli(0.5) else 1,
+                radius=0,
+                randomized=True,
+                name="alias",
+                output_program=lambda ball: bernoulli_output(0.5, True, 1),
+            )
+        )
+        compiled = compile_construction(constructor, cycle_network(4))
+        assert len(compiled.values) == 1

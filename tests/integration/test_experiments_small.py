@@ -143,6 +143,18 @@ class TestE6Amplification:
         # The final row applies Eq. (3) and must push membership below r = 0.5.
         assert result.rows[-1]["union_membership"] < 0.5
 
+    def test_exact_engine_is_bit_identical_to_off(self):
+        # Distant seeds (the seed*K+trial convention makes adjacent seeds
+        # share coins across trials; see repro.engine.construct).
+        for seed in (14, 10_014):
+            kwargs = dict(
+                q=0.08, p=0.8, instance_size=8, nu_values=(1, 3), trials=60, seed=seed
+            )
+            off = experiment_e6_error_amplification(engine="off", **kwargs)
+            exact = experiment_e6_error_amplification(engine="exact", **kwargs)
+            assert off.rows == exact.rows
+            assert off.matches_paper == exact.matches_paper
+
 
 class TestE7Separations:
     def test_small_scale_matches(self):
@@ -176,12 +188,28 @@ class TestE8SlackVsResilient:
         assert all(row["success_probability"] > 0.5 for row in slack_rows)
         assert all(not row["solvable_in_O1"] for row in resilient_rows)
 
+    def test_exact_engine_is_bit_identical_to_off(self):
+        for seed in (15, 10_015):
+            kwargs = dict(n=15, eps=0.75, f_values=(1, 2), trials=60, seed=seed)
+            off = experiment_e8_slack_vs_resilient(engine="off", **kwargs)
+            exact = experiment_e8_slack_vs_resilient(engine="exact", **kwargs)
+            assert off.rows == exact.rows
+            assert off.matches_paper == exact.matches_paper
+
 
 class TestE9FarAcceptance:
     def test_small_scale_matches(self):
         result = experiment_e9_far_acceptance(q=0.3, p=0.8, instance_size=10, trials=150, seed=9)
         assert result.matches_paper
         assert all(0.0 <= row["far_acceptance"] <= 1.0 for row in result.rows)
+
+    def test_exact_engine_is_bit_identical_to_off(self):
+        for seed in (16, 10_016):
+            kwargs = dict(q=0.3, p=0.8, instance_size=10, trials=80, seed=seed)
+            off = experiment_e9_far_acceptance(engine="off", **kwargs)
+            exact = experiment_e9_far_acceptance(engine="exact", **kwargs)
+            assert off.rows == exact.rows
+            assert off.matches_paper == exact.matches_paper
 
 
 class TestE10Baselines:
