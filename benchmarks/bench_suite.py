@@ -51,10 +51,16 @@ try:  # pragma: no cover - convenience for running without PYTHONPATH=src
 except ImportError:  # pragma: no cover
     sys.path.insert(0, str(_SRC))
 
-from repro.harness import experiments as E  # noqa: E402
+from repro.api import Session  # noqa: E402
+from repro.harness.registry import REGISTRY  # noqa: E402
 
 DEFAULT_OUTPUT = BENCH_DIR / "BENCH.json"
 DEFAULT_BASELINE = BENCH_DIR / "baseline.json"
+
+
+#: The one session every workload runs through: the same facade external
+#: callers use, with caching off (benches must measure real execution).
+SESSION = Session(cache=None)
 
 
 @dataclass
@@ -63,11 +69,19 @@ class Workload:
 
     name: str
     file: str
-    run: Callable[..., object]  # called with engine=... when engine_comparable
+    experiment: str  # spec id resolved against the registry
     params: Dict[str, object] = field(default_factory=dict)
     engine_comparable: bool = True
     #: Hard floor on the engine-vs-off speedup (None: report only).
     min_speedup: Optional[float] = None
+
+    def run(self, engine: Optional[str] = None) -> object:
+        """Run the workload through the Session facade; ``engine`` is threaded
+        into the spec-validated parameters when given."""
+        overrides = dict(self.params)
+        if engine is not None:
+            overrides["engine"] = engine
+        return SESSION.run(self.experiment, **overrides).result
 
 
 def _throughput_workload() -> Dict[str, float]:
@@ -90,13 +104,13 @@ WORKLOADS: List[Workload] = [
     Workload(
         name="e1_amos",
         file="bench_e1_amos.py",
-        run=E.experiment_e1_amos_decider,
+        experiment="E1",
         params=dict(sizes=(12, 40), selected_counts=(0, 1, 2, 3), trials=1500, seed=0),
     ),
     Workload(
         name="e2_eps_slack",
         file="bench_e2_eps_slack.py",
-        run=E.experiment_e2_eps_slack_random_coloring,
+        experiment="E2",
         params=dict(
             sizes=(30, 90, 300),
             eps_values=(0.75, 0.7, 0.6),
@@ -109,55 +123,55 @@ WORKLOADS: List[Workload] = [
     Workload(
         name="e3_resilient_lower_bound",
         file="bench_e3_resilient_lower_bound.py",
-        run=E.experiment_e3_resilient_lower_bound,
+        experiment="E3",
         params=dict(n=30, radii=(0, 1), f_values=(1, 2, 4), trials=3000, seed=0),
         min_speedup=5.0,
     ),
     Workload(
         name="e4_logstar",
         file="bench_e4_logstar.py",
-        run=E.experiment_e4_logstar_coloring,
+        experiment="E4",
         params=dict(sizes=(8, 32, 128, 512, 2048, 8192, 32768), seed=0),
         engine_comparable=False,
     ),
     Workload(
         name="e5_resilient_decider",
         file="bench_e5_resilient_decider.py",
-        run=E.experiment_e5_resilient_decider,
+        experiment="E5",
         params=dict(f_values=(1, 2, 4), n=60, trials=1500, seed=0),
     ),
     Workload(
         name="e6_amplification",
         file="bench_e6_amplification.py",
-        run=E.experiment_e6_error_amplification,
+        experiment="E6",
         params=dict(q=0.05, p=0.8, instance_size=12, nu_values=(1, 2, 4), trials=300, seed=0),
         min_speedup=10.0,
     ),
     Workload(
         name="e7_separations",
         file="bench_e7_separations.py",
-        run=E.experiment_e7_separations,
+        experiment="E7",
         params=dict(n=24, deterministic_radius=2, trials=10_000, seed=0),
         min_speedup=5.0,
     ),
     Workload(
         name="e8_slack_vs_resilient",
         file="bench_e8_slack_vs_resilient.py",
-        run=E.experiment_e8_slack_vs_resilient,
+        experiment="E8",
         params=dict(n=24, eps=0.7, f_values=(1, 2, 4), trials=400, seed=0),
         min_speedup=3.0,
     ),
     Workload(
         name="e9_far_acceptance",
         file="bench_e9_far_acceptance.py",
-        run=E.experiment_e9_far_acceptance,
+        experiment="E9",
         params=dict(q=0.3, p=0.8, instance_size=20, trials=300, seed=0),
         min_speedup=10.0,
     ),
     Workload(
         name="e10_baselines",
         file="bench_e10_baselines.py",
-        run=E.experiment_e10_baselines,
+        experiment="E10",
         params=dict(sizes=(20, 60, 160, 400), degree=3, runs=5, seed=0),
         engine_comparable=False,
     ),
@@ -170,7 +184,8 @@ THROUGHPUT_MIN_SPEEDUP = 10.0
 
 
 def check_registry_covers_directory() -> List[str]:
-    """Every bench_*.py must have a suite entry (and vice versa)."""
+    """Every bench_*.py must have a suite entry (and vice versa), and the
+    suite must cover every spec in the experiment registry."""
     present = {path.name for path in BENCH_DIR.glob("bench_*.py")}
     present.discard(Path(__file__).name)
     registered = {workload.file for workload in WORKLOADS} | {THROUGHPUT_FILE}
@@ -179,6 +194,20 @@ def check_registry_covers_directory() -> List[str]:
         problems.append(f"bench file {missing} has no bench_suite workload")
     for stale in sorted(registered - present):
         problems.append(f"bench_suite workload references missing file {stale}")
+    benched = {workload.experiment for workload in WORKLOADS}
+    for spec_id in REGISTRY:
+        if spec_id not in benched:
+            problems.append(f"registered experiment {spec_id} has no bench_suite workload")
+    for spec_id in sorted(benched - set(REGISTRY)):
+        problems.append(f"bench_suite workload references unknown experiment {spec_id}")
+    for workload in WORKLOADS:
+        if workload.experiment not in REGISTRY:
+            continue  # already reported as unknown above
+        if workload.engine_comparable and not REGISTRY[workload.experiment].accepts_engine:
+            problems.append(
+                f"{workload.name}: marked engine_comparable but spec "
+                f"{workload.experiment} declares no engine capability"
+            )
     return problems
 
 
@@ -247,10 +276,10 @@ def run_suite(
             # metric is their ratio, so a single noisy off timing would put
             # its full variance straight into the regression gate.
             off_seconds, off_result = _median_timed(
-                lambda w=workload: w.run(engine="off", **w.params), repeats
+                lambda w=workload: w.run("off"), repeats
             )
             median_seconds, result = _median_timed(
-                lambda w=workload: w.run(engine="fast", **w.params), repeats
+                lambda w=workload: w.run("fast"), repeats
             )
             record["off_seconds"] = round(off_seconds, 4)
             record["median_seconds"] = round(median_seconds, 4)
@@ -260,7 +289,7 @@ def run_suite(
             record["matches_paper"] = False not in verdicts and None not in verdicts
         else:
             median_seconds, result = _median_timed(
-                lambda w=workload: w.run(**w.params), repeats
+                lambda w=workload: w.run(), repeats
             )
             record["off_seconds"] = None
             record["median_seconds"] = round(median_seconds, 4)
@@ -277,15 +306,8 @@ def run_suite(
         )
         records[workload.name] = record
         if profile:
-            if workload.engine_comparable:
-                _profile_workload(
-                    workload.name,
-                    lambda w=workload: w.run(engine="fast", **w.params),
-                )
-            else:
-                _profile_workload(
-                    workload.name, lambda w=workload: w.run(**w.params)
-                )
+            engine = "fast" if workload.engine_comparable else None
+            _profile_workload(workload.name, lambda w=workload, e=engine: w.run(e))
 
     if not only or "engine_throughput" in only:
         print(f"[bench] engine_throughput ({THROUGHPUT_FILE}) ...", flush=True)

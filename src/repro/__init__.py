@@ -19,8 +19,14 @@ the paper's framework on top of it:
   (CSR adjacency + per-node Bernoulli vote probabilities) and evaluates
   thousands of trials as single array reductions, plus a process-pool sweep
   runner and the content-addressed JSON result cache behind the CLI;
-* :mod:`repro.harness` — experiment records and reporting, used by the
-  benchmark suite that regenerates every quantitative claim of the paper
+* :mod:`repro.harness` — the declarative experiment layer: the
+  :class:`~repro.harness.registry.ExperimentSpec` registry (typed parameter
+  schemas, ``full``/``quick`` presets, seed/engine capabilities) over the
+  E1–E10 runner functions, plus result records and reporting;
+* :mod:`repro.api` — the programmatic facade: :class:`~repro.api.Session`
+  runs single experiments, selections, and parameter sweeps through
+  pluggable execution backends (``inline``, ``process-pool``, ``batch``)
+  with canonical spec-derived cache keys; the CLI is a thin client of it
   (see DESIGN.md and EXPERIMENTS.md).
 
 Fast path vs. reference path
@@ -36,13 +42,23 @@ architecture notes.
 
 Result caching
 --------------
-``python -m repro run`` memoises experiment results under
-``$REPRO_CACHE_DIR`` (default ``./.repro-cache``), keyed by experiment id,
-parameters, seed, and :data:`__version__`; bumping the version invalidates
-every entry, and ``--no-cache`` bypasses the cache entirely.
+``python -m repro run`` (and any :class:`repro.api.Session` with caching
+enabled) memoises experiment results under ``$REPRO_CACHE_DIR`` (default
+``./.repro-cache``), keyed by the spec's fully normalized parameter mapping
+(seed included) and :data:`__version__`; bumping the version invalidates
+every entry, and ``--no-cache`` / ``Session(cache=None)`` bypasses the cache
+entirely.
 
 Quickstart
 ----------
+>>> from repro.api import Session
+>>> session = Session(seed=0, cache=None)
+>>> session.run("E5", preset="quick").ok    # doctest: +SKIP
+True
+
+Working with the substrate directly:
+
+
 >>> from repro.graphs import cycle_network
 >>> from repro.core import Configuration, ProperColoring, LocalCheckerDecider
 >>> net = cycle_network(9)
@@ -54,7 +70,7 @@ True
 True
 """
 
-__version__ = "1.1.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "local",
@@ -64,5 +80,6 @@ __all__ = [
     "analysis",
     "engine",
     "harness",
+    "api",
     "__version__",
 ]

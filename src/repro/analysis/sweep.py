@@ -12,7 +12,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Sequence
 
-__all__ = ["SweepResult", "sweep", "grid_points", "merge_point_row"]
+__all__ = ["SweepResult", "sweep", "sweep_points", "grid_points", "merge_point_row"]
 
 
 @dataclass
@@ -98,8 +98,21 @@ def sweep(
         measurements.  A measurement key colliding with a parameter name
         raises ``ValueError`` (see :func:`merge_point_row`).
     """
+    return sweep_points(experiment, grid_points(parameters))
+
+
+def sweep_points(
+    experiment: Callable[..., Mapping[str, object]],
+    points: Sequence[Mapping[str, object]],
+) -> SweepResult:
+    """Run ``experiment(**point)`` for an explicit list of points.
+
+    :func:`sweep` is the Cartesian-grid special case; the explicit-points
+    form is for point lists produced elsewhere (a filtered grid, points read
+    from a file, a subset of a spec-resolved request grid, ...).
+    """
     result = SweepResult()
-    for point in grid_points(parameters):
+    for point in points:
         measured = dict(experiment(**point))
-        result.rows.append(merge_point_row(point, measured))
+        result.rows.append(merge_point_row(dict(point), measured))
     return result

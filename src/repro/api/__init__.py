@@ -1,0 +1,78 @@
+"""repro.api — the programmatic surface of the reproduction harness.
+
+The facade every caller (the CLI included) goes through:
+
+* :class:`Session` — fixes seed / engine / cache / backend once, then runs
+  single experiments, selections, and first-class parameter sweeps;
+* :class:`RunRequest` / :class:`RunReport` — declarative request in,
+  provenance-carrying report out (result, cache hit, cache path, duration);
+* execution backends — ``inline`` (in-process), ``process-pool`` (worker
+  processes via :class:`~repro.engine.parallel.ParallelSweepRunner`), and
+  ``batch`` (serialized manifest execution), all yielding results in
+  submission order;
+* the spec registry re-exports — :data:`REGISTRY`,
+  :class:`~repro.harness.registry.ExperimentSpec`, and the validation
+  errors, so ``import repro.api`` is a one-stop import.
+
+Quickstart
+----------
+>>> from repro.api import Session
+>>> session = Session(seed=0, engine="auto", cache=None)
+>>> report = session.run("E5", preset="quick")            # doctest: +SKIP
+>>> [r.ok for r in session.run_all(preset="quick")]       # doctest: +SKIP
+[True, True, True, True, True, True, True, True, True, True]
+>>> sweep = session.sweep("E5", {"f_values": [[1], [2]]}, preset="quick")
+...                                                       # doctest: +SKIP
+"""
+
+from repro.api.backends import (
+    BACKEND_CHOICES,
+    BatchBackend,
+    ExecutionBackend,
+    InlineBackend,
+    ProcessPoolBackend,
+    resolve_backend,
+)
+from repro.api.session import (
+    PRESET_FULL,
+    PRESET_QUICK,
+    ProgressCallback,
+    ProgressEvent,
+    RunReport,
+    RunRequest,
+    Session,
+    SweepReport,
+)
+from repro.harness.registry import (
+    REGISTRY,
+    ExperimentRegistry,
+    ExperimentSpec,
+    ParameterSpec,
+    ParameterValueError,
+    SpecValidationError,
+    UnknownParameterError,
+)
+
+__all__ = [
+    "BACKEND_CHOICES",
+    "PRESET_FULL",
+    "PRESET_QUICK",
+    "REGISTRY",
+    "BatchBackend",
+    "ExecutionBackend",
+    "ExperimentRegistry",
+    "ExperimentSpec",
+    "InlineBackend",
+    "ParameterSpec",
+    "ParameterValueError",
+    "ProcessPoolBackend",
+    "ProgressCallback",
+    "ProgressEvent",
+    "RunReport",
+    "RunRequest",
+    "Session",
+    "SpecValidationError",
+    "SweepReport",
+    "UnknownParameterError",
+    "resolve_backend",
+]

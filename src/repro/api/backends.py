@@ -1,0 +1,181 @@
+"""Pluggable execution backends for the :class:`repro.api.Session` facade.
+
+A backend receives **request payloads** — the JSON-shaped dicts produced by
+:meth:`repro.api.RunRequest.to_payload` — and yields
+:class:`~repro.harness.results.ExperimentResult` objects **in submission
+order**.  The facade owns everything else (spec resolution, cache probes and
+writes, progress events); backends own only *where and how* the experiment
+functions execute:
+
+``inline``
+    In the calling process, one request at a time, lazily — the default.
+``process-pool``
+    Over a ``ProcessPoolExecutor``, via the existing
+    :class:`~repro.engine.parallel.ParallelSweepRunner` fan-out primitives;
+    all requests are submitted eagerly and results stream back in
+    submission order.
+``batch``
+    Serialized execution: the whole batch is round-tripped through its JSON
+    encoding first (proving every request is portable off-process), then
+    executed sequentially from the decoded manifest.  This is the queue-shaped
+    backend the future sharded/remote executors slot in behind.
+
+Because payloads are plain JSON-able dicts and the worker entry point
+(:func:`execute_payload`) resolves experiments through the registry by id,
+any payload can be shipped to another process — or, later, another machine —
+without pickling closures.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterator, List, Optional, Sequence, Union
+
+from repro.engine.parallel import ParallelSweepRunner
+from repro.harness.results import ExperimentResult
+
+__all__ = [
+    "ExecutionBackend",
+    "InlineBackend",
+    "ProcessPoolBackend",
+    "BatchBackend",
+    "BACKEND_CHOICES",
+    "resolve_backend",
+    "execute_payload",
+]
+
+
+def execute_payload(payload: Dict[str, object], registry=None) -> Dict[str, object]:
+    """Run one request payload; the worker entry point of every backend.
+
+    Top-level (hence picklable), resolves the experiment by id through
+    ``registry`` (the shipped :data:`~repro.harness.registry.REGISTRY` when
+    ``None`` — the only resolvable registry inside a fresh worker process),
+    and returns the result as a plain dict so the transport back from a
+    worker is pickle-of-JSON-able data, never live objects.
+    """
+    if registry is None:
+        from repro.harness.registry import REGISTRY as registry
+
+    spec = registry[str(payload["experiment_id"])]
+    return spec.run(payload.get("parameters", {})).to_dict()
+
+
+def _result_from(record: Dict[str, object]) -> ExperimentResult:
+    return ExperimentResult.from_dict(record)
+
+
+class ExecutionBackend:
+    """Interface: run payloads, yield results in submission order.
+
+    ``registry`` lets a session execute against a custom spec registry; the
+    ``process-pool`` backend ignores it because a worker process can only
+    resolve ids through the importable global registry.
+    """
+
+    name = "abstract"
+
+    def execute(
+        self, payloads: Sequence[Dict[str, object]], registry=None
+    ) -> Iterator[ExperimentResult]:
+        raise NotImplementedError
+
+
+class InlineBackend(ExecutionBackend):
+    """Serial in-process execution (the default)."""
+
+    name = "inline"
+
+    def execute(
+        self, payloads: Sequence[Dict[str, object]], registry=None
+    ) -> Iterator[ExperimentResult]:
+        for payload in payloads:
+            yield _result_from(execute_payload(payload, registry))
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Fan requests out over worker processes.
+
+    Built on :meth:`ParallelSweepRunner.imap`: submission is eager, results
+    stream back in submission order, and a pool is created per batch so the
+    backend object itself stays picklable and stateless.
+    """
+
+    name = "process-pool"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be positive (or None for one per CPU)")
+        self.max_workers = max_workers
+
+    def execute(
+        self, payloads: Sequence[Dict[str, object]], registry=None
+    ) -> Iterator[ExperimentResult]:
+        # A registry instance cannot be shipped to the workers — a fresh
+        # process resolves payload ids through the importable global registry
+        # only.  Running a *custom* registry here would silently execute the
+        # wrong runners, so it is rejected up front.
+        if registry is not None:
+            from repro.harness.registry import REGISTRY
+
+            if registry is not REGISTRY:
+                raise ValueError(
+                    "the process-pool backend resolves experiment ids through the "
+                    "shipped repro.harness.registry.REGISTRY inside its worker "
+                    "processes; use the inline or batch backend with a custom registry"
+                )
+        runner = ParallelSweepRunner(max_workers=self.max_workers, seed_parameter=None)
+        for record in runner.imap(execute_payload, list(payloads)):
+            yield _result_from(record)
+
+
+class BatchBackend(ExecutionBackend):
+    """Serialized-batch execution.
+
+    The batch is encoded to a JSON manifest up front — any unserializable
+    request fails loudly at submission, not halfway through a shard — and the
+    *decoded* manifest is what actually runs.  ``last_manifest`` keeps the
+    most recent encoding for inspection and for handing off to external
+    queue runners.
+    """
+
+    name = "batch"
+
+    def __init__(self) -> None:
+        self.last_manifest: Optional[str] = None
+
+    def execute(
+        self, payloads: Sequence[Dict[str, object]], registry=None
+    ) -> Iterator[ExperimentResult]:
+        manifest = json.dumps({"schema": 1, "requests": list(payloads)}, sort_keys=True)
+        self.last_manifest = manifest
+        decoded: List[Dict[str, object]] = json.loads(manifest)["requests"]
+        for payload in decoded:
+            yield _result_from(execute_payload(payload, registry))
+
+
+#: Backend names accepted by :func:`resolve_backend` (and the CLI).
+BACKEND_CHOICES = ("inline", "process-pool", "batch")
+
+
+def resolve_backend(
+    backend: Union[str, ExecutionBackend, None],
+    parallel: Optional[int] = None,
+) -> ExecutionBackend:
+    """Turn a backend selector into an instance.
+
+    ``None`` picks ``inline`` (or ``process-pool`` when ``parallel`` asks for
+    more than one worker); a string names one of :data:`BACKEND_CHOICES`; an
+    :class:`ExecutionBackend` instance passes through untouched.
+    """
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    if backend is None:
+        backend = "process-pool" if parallel is not None and parallel > 1 else "inline"
+    if backend == "inline":
+        return InlineBackend()
+    if backend == "process-pool":
+        return ProcessPoolBackend(max_workers=parallel)
+    if backend == "batch":
+        return BatchBackend()
+    raise ValueError(f"unknown backend {backend!r}; expected one of {BACKEND_CHOICES}")

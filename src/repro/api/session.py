@@ -1,0 +1,406 @@
+"""The :class:`Session` facade: one programmatic surface for every run.
+
+A session fixes the cross-cutting run context once — master seed, engine
+selection, result cache, execution backend — and then executes single
+experiments, selections, and parameter sweeps as declarative
+:class:`RunRequest` objects resolved against the spec registry:
+
+>>> from repro.api import Session
+>>> session = Session(seed=0, cache=None)
+>>> report = session.run("E5", preset="quick")          # doctest: +SKIP
+>>> report.result.matches_paper                         # doctest: +SKIP
+True
+
+Everything the CLI does goes through this class; external callers get the
+exact same behavior (same normalization, same cache keys, same backends) by
+constructing a session themselves.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.analysis.sweep import SweepResult, grid_points, merge_point_row
+from repro.api.backends import ExecutionBackend, resolve_backend
+from repro.engine.cache import ResultCache
+from repro.engine.parallel import point_seed
+from repro.harness.registry import (
+    PRESET_FULL,
+    PRESET_QUICK,
+    REGISTRY,
+    ExperimentRegistry,
+    ExperimentSpec,
+)
+from repro.harness.results import ExperimentResult
+
+__all__ = [
+    "RunRequest",
+    "RunReport",
+    "ProgressEvent",
+    "ProgressCallback",
+    "SweepReport",
+    "Session",
+    "PRESET_FULL",
+    "PRESET_QUICK",
+]
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One fully resolved run: an experiment id plus normalized parameters.
+
+    Instances are produced by :meth:`Session.request` (which applies the
+    preset, the overrides, and the session seed/engine through the spec's
+    schema); ``parameters`` is therefore always the complete normalized
+    mapping, and two requests describing the same logical run compare equal
+    and share a cache key.
+    """
+
+    experiment_id: str
+    parameters: Tuple[Tuple[str, object], ...]
+    preset: str = PRESET_FULL
+
+    @classmethod
+    def create(
+        cls,
+        experiment_id: str,
+        parameters: Mapping[str, object],
+        preset: str = PRESET_FULL,
+    ) -> "RunRequest":
+        frozen = tuple(
+            (name, tuple(value) if isinstance(value, list) else value)
+            for name, value in parameters.items()
+        )
+        return cls(experiment_id=experiment_id, parameters=frozen, preset=preset)
+
+    @property
+    def kwargs(self) -> Dict[str, object]:
+        """The parameters as the keyword mapping the runner is called with."""
+        return {
+            name: list(value) if isinstance(value, tuple) else value
+            for name, value in self.parameters
+        }
+
+    def cache_key(self, registry: Optional[ExperimentRegistry] = None) -> str:
+        spec = (registry if registry is not None else REGISTRY)[self.experiment_id]
+        return spec.cache_key(self.kwargs)
+
+    def to_payload(self) -> Dict[str, object]:
+        """The JSON-shaped form backends transport (see
+        :mod:`repro.api.backends`)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "parameters": self.kwargs,
+            "preset": self.preset,
+        }
+
+
+@dataclass
+class RunReport:
+    """The outcome of one request: the result plus its provenance."""
+
+    request: RunRequest
+    result: ExperimentResult
+    from_cache: bool = False
+    cache_path: Optional[Path] = None
+    duration_seconds: float = 0.0
+
+    @property
+    def experiment_id(self) -> str:
+        return self.request.experiment_id
+
+    @property
+    def ok(self) -> bool:
+        """An affirmative verdict — ``None`` (never judged) is *not* ok."""
+        return self.result.matches_paper is True
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One per-request progress notification.
+
+    ``kind`` is ``"start"`` when a request begins executing, ``"cached"``
+    when it is served from the result cache, and ``"done"`` when execution
+    finished (``report`` is set for ``cached`` and ``done``).
+    """
+
+    kind: str
+    request: RunRequest
+    index: int
+    total: int
+    report: Optional[RunReport] = None
+
+
+ProgressCallback = Callable[[ProgressEvent], None]
+
+
+@dataclass
+class SweepReport:
+    """The outcome of :meth:`Session.sweep`: per-point reports in grid order
+    plus the flat summary table the analysis layer consumes."""
+
+    reports: List[RunReport] = field(default_factory=list)
+    table: SweepResult = field(default_factory=SweepResult)
+
+    def __len__(self) -> int:
+        return len(self.reports)
+
+
+class Session:
+    """A configured run context over the experiment registry.
+
+    Parameters
+    ----------
+    seed:
+        Master seed injected into every request whose spec declares the seed
+        contract (unless the request pins its own); ``None`` leaves the
+        schema default in place.
+    engine:
+        Engine selector (``auto``/``exact``/``fast``/``off``) injected into
+        every request whose spec declares the engine capability.
+    cache:
+        ``True`` (default) for the standard on-disk result cache, ``None`` or
+        ``False`` to disable caching, a path for an explicit cache directory,
+        or a :class:`ResultCache` instance.
+    backend:
+        ``"inline"`` (default), ``"process-pool"``, ``"batch"``, or an
+        :class:`ExecutionBackend` instance.
+    parallel:
+        Worker count for the ``process-pool`` backend; with the default
+        backend selector, ``parallel > 1`` implies ``process-pool``.
+    registry:
+        The spec registry to resolve experiments against (defaults to the
+        shipped :data:`~repro.harness.registry.REGISTRY`).
+    progress:
+        Session-wide progress callback; the ``progress=`` argument of the run
+        methods overrides it per call.
+    """
+
+    def __init__(
+        self,
+        seed: Optional[int] = None,
+        engine: Optional[str] = None,
+        cache: Union[bool, None, str, Path, ResultCache] = True,
+        backend: Union[str, ExecutionBackend, None] = None,
+        parallel: Optional[int] = None,
+        registry: Optional[ExperimentRegistry] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> None:
+        self.seed = seed
+        self.engine = engine
+        self.registry = registry if registry is not None else REGISTRY
+        self.backend = resolve_backend(backend, parallel)
+        self.progress = progress
+        if isinstance(cache, ResultCache):
+            self.cache: Optional[ResultCache] = cache
+        elif cache is True:
+            self.cache = ResultCache()
+        elif cache in (None, False):
+            self.cache = None
+        else:
+            self.cache = ResultCache(Path(cache))
+
+    # ------------------------------------------------------------------ #
+    def spec(self, experiment_id: str) -> ExperimentSpec:
+        return self.registry[experiment_id]
+
+    def request(
+        self,
+        experiment_id: str,
+        preset: str = PRESET_FULL,
+        **overrides: object,
+    ) -> RunRequest:
+        """Resolve one run against the spec's schema (preset + overrides +
+        session seed/engine) into a :class:`RunRequest`."""
+        spec = self.spec(experiment_id)
+        parameters = spec.resolve(
+            preset=preset, overrides=overrides, seed=self.seed, engine=self.engine
+        )
+        return RunRequest.create(spec.id, parameters, preset=preset)
+
+    # ------------------------------------------------------------------ #
+    def run_iter(
+        self,
+        requests: Sequence[RunRequest],
+        progress: Optional[ProgressCallback] = None,
+    ) -> Iterator[RunReport]:
+        """Execute requests, yielding a :class:`RunReport` per request **in
+        request order** as each becomes available.
+
+        Cache hits are served immediately; misses go through the session
+        backend in one batch.  Fresh results are written back to the cache as
+        they arrive, so an interrupted iteration keeps everything already
+        yielded.
+        """
+        emit = progress if progress is not None else self.progress
+        total = len(requests)
+
+        cached: Dict[int, RunReport] = {}
+        misses: List[Tuple[int, RunRequest, Optional[str]]] = []
+        for index, request in enumerate(requests):
+            key = None
+            if self.cache is not None:
+                key = request.cache_key(self.registry)
+                payload = self.cache.get(key)
+                if payload is not None:
+                    try:
+                        result = ExperimentResult.from_dict(payload)
+                    except (KeyError, TypeError, ValueError):
+                        pass  # foreign/stale payload shape: treat as a miss
+                    else:
+                        cached[index] = RunReport(
+                            request=request,
+                            result=result,
+                            from_cache=True,
+                            cache_path=self.cache.path_for(key),
+                        )
+                        continue
+            misses.append((index, request, key))
+
+        executing = self.backend.execute(
+            [request.to_payload() for _, request, _ in misses], registry=self.registry
+        )
+        miss_iterator = iter(misses)
+        for index, request in enumerate(requests):
+            if index in cached:
+                report = cached[index]
+                if emit is not None:
+                    emit(ProgressEvent("cached", request, index, total, report))
+                yield report
+                continue
+            miss_index, miss_request, key = next(miss_iterator)
+            assert miss_index == index
+            if emit is not None:
+                emit(ProgressEvent("start", request, index, total))
+            started = time.perf_counter()
+            result = next(executing)
+            duration = time.perf_counter() - started
+            cache_path = None
+            if self.cache is not None and key is not None:
+                cache_path = self.cache.put(
+                    key,
+                    result.to_dict(),
+                    key_fields={
+                        "experiment_id": request.experiment_id,
+                        "parameters": request.kwargs,
+                        "preset": request.preset,
+                    },
+                )
+            report = RunReport(
+                request=request,
+                result=result,
+                from_cache=False,
+                cache_path=cache_path,
+                duration_seconds=duration,
+            )
+            if emit is not None:
+                emit(ProgressEvent("done", request, index, total, report))
+            yield report
+
+    def run_many(
+        self,
+        requests: Sequence[RunRequest],
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[RunReport]:
+        """:meth:`run_iter`, fully materialized."""
+        return list(self.run_iter(requests, progress=progress))
+
+    def run(
+        self,
+        experiment_id: str,
+        preset: str = PRESET_FULL,
+        progress: Optional[ProgressCallback] = None,
+        **overrides: object,
+    ) -> RunReport:
+        """Run a single experiment and return its report."""
+        request = self.request(experiment_id, preset=preset, **overrides)
+        return self.run_many([request], progress=progress)[0]
+
+    def run_selection(
+        self,
+        experiment_ids: Sequence[str],
+        preset: str = PRESET_FULL,
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[RunReport]:
+        """Run a selection of experiments (ids in any case, or ``"all"``),
+        deduplicated, in the requested order."""
+        requests = [
+            self.request(experiment_id, preset=preset)
+            for experiment_id in self.registry.select(experiment_ids)
+        ]
+        return self.run_many(requests, progress=progress)
+
+    def run_all(
+        self,
+        preset: str = PRESET_FULL,
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[RunReport]:
+        """Run every registered experiment (``preset="quick"`` is the CI
+        smoke configuration)."""
+        return self.run_selection(["all"], preset=preset, progress=progress)
+
+    # ------------------------------------------------------------------ #
+    def sweep(
+        self,
+        experiment_id: str,
+        grid: Mapping[str, Sequence[object]],
+        preset: str = PRESET_FULL,
+        progress: Optional[ProgressCallback] = None,
+        **fixed: object,
+    ) -> SweepReport:
+        """A first-class parameter sweep: the Cartesian grid becomes one
+        :class:`RunRequest` per point, executed through the session backend.
+
+        Seeding follows the :class:`~repro.engine.parallel.ParallelSweepRunner`
+        convention: when the session has a master seed and the spec declares
+        the seed contract, each point receives a seed derived from the master
+        seed and the point's own parameters — independent of backend, worker
+        count, and grid shape.  The returned :class:`SweepReport` carries the
+        per-point reports plus a flat :class:`SweepResult` summary table
+        (point parameters + verdict/provenance columns) in grid order.
+        """
+        spec = self.spec(experiment_id)
+        points = grid_points(grid)
+        requests = []
+        for point in points:
+            overrides = dict(fixed)
+            overrides.update(point)
+            if (
+                self.seed is not None
+                and spec.accepts_seed
+                and "seed" not in overrides
+            ):
+                overrides["seed"] = point_seed(self.seed, point)
+            parameters = spec.resolve(
+                preset=preset, overrides=overrides, engine=self.engine
+            )
+            requests.append(RunRequest.create(spec.id, parameters, preset=preset))
+
+        report = SweepReport()
+        for point, run_report in zip(points, self.run_iter(requests, progress=progress)):
+            report.reports.append(run_report)
+            report.table.rows.append(
+                merge_point_row(
+                    point,
+                    {
+                        "matches_paper": run_report.result.matches_paper,
+                        "row_count": len(run_report.result.rows),
+                        "from_cache": run_report.from_cache,
+                    },
+                )
+            )
+        return report
+

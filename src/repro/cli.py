@@ -1,66 +1,50 @@
-"""Command-line interface: run experiments and regenerate EXPERIMENTS.md.
+"""Command-line interface: a thin client of :class:`repro.api.Session`.
 
 Usage::
 
     python -m repro list
     python -m repro run E1 E3 --output-dir results/
     python -m repro run all --quick --parallel 2 --seed 7
-    python -m repro run E5 --no-cache
+    python -m repro run E5 --engine exact --no-cache
+    python -m repro run all --quick --backend batch
     python -m repro report --results benchmarks/results --output EXPERIMENTS.md
 
-``run`` executes the selected experiments of DESIGN.md's index at full scale
-(or at a reduced scale with ``--quick``), prints their tables, and optionally
+``run`` resolves the selected experiments of DESIGN.md's index against the
+spec registry (:data:`repro.harness.registry.REGISTRY`), executes them
+through a :class:`~repro.api.Session`, prints their tables, and optionally
 writes the JSON artifacts; ``report`` renders a directory of artifacts into
-the EXPERIMENTS.md format.
+the EXPERIMENTS.md format.  ``list`` prints each spec's parameter schema,
+quick preset, and capability tags.
 
-``run`` memoises results in the :mod:`repro.engine.cache` result cache
-(keyed by experiment id, parameters, seed and package version, stored under
-``$REPRO_CACHE_DIR`` or ``./.repro-cache``): repeated invocations with the
-same workload print the cached tables instead of recomputing.  ``--no-cache``
-bypasses the cache in both directions, ``--parallel N`` fans the selected
-experiments out over ``N`` worker processes, and ``--seed`` reseeds every
-experiment that accepts a seed, making runs reproducible bit-for-bit.
+Every knob is session configuration, not CLI logic: ``--quick`` selects the
+spec's ``quick`` preset, ``--seed`` reseeds every experiment whose spec
+declares the seed contract, ``--engine`` picks the execution engine for
+every spec with the engine capability, ``--parallel``/``--backend`` choose
+the execution backend, and results are memoised in the
+:mod:`repro.engine.cache` result cache under the spec-derived canonical key
+(``--no-cache`` bypasses it in both directions).  External callers get the
+identical behavior from ``repro.api`` directly — the CLI holds no experiment
+knowledge of its own.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
-from repro.engine.cache import ResultCache, cache_key
-from repro.engine.parallel import accepts_seed
-from repro.harness.experiments import ALL_EXPERIMENTS
+from repro.api import BACKEND_CHOICES, PRESET_FULL, PRESET_QUICK, RunReport, Session
+from repro.engine.adapters import ENGINE_CHOICES
+from repro.harness.registry import REGISTRY
 from repro.harness.reporting import render_experiment, write_json
-from repro.harness.results import ExperimentResult
 from repro.harness.summary import load_results_directory, render_experiments_markdown
 
-__all__ = ["main", "build_parser", "QUICK_PARAMETERS", "DEFAULT_SEED"]
+__all__ = ["main", "build_parser", "DEFAULT_SEED"]
 
-#: Reduced workloads for ``--quick`` runs (used by the CLI smoke tests too).
-QUICK_PARAMETERS: Dict[str, Dict[str, object]] = {
-    "E1": {"sizes": (9,), "trials": 400},
-    # E2: the verdict needs the concentration of the largest size, so the
-    # quick grid keeps one mid-sized cycle (90 was too small: eps=0.62 sat
-    # within one sigma of the 5/9 mean bad fraction and failed spuriously).
-    "E2": {"sizes": (30, 300), "eps_values": (0.75, 0.65), "trials": 60, "decider_trials": 300},
-    "E3": {"n": 15, "trials": 300},
-    "E4": {"sizes": (8, 64, 1024)},
-    "E5": {"f_values": (1, 2), "n": 24, "trials": 400},
-    "E6": {"nu_values": (1, 2, 4), "trials": 120, "instance_size": 8},
-    # E7 plants conflicting edges on a 3-colored cycle, so n must be
-    # divisible by 3 (16 crashed the workload builder).
-    "E7": {"n": 15, "trials": 400},
-    "E8": {"n": 15, "trials": 100},
-    "E9": {"instance_size": 12, "trials": 120},
-    "E10": {"sizes": (20, 40), "runs": 2},
-}
-
-#: The master seed used when ``--seed`` is not given.  Every experiment that
-#: accepts a ``seed`` parameter receives it, so two machines running the same
-#: command produce bit-for-bit identical tables.
+#: The master seed used when ``--seed`` is not given.  Every experiment whose
+#: spec declares the seed contract receives it, so two machines running the
+#: same command produce bit-for-bit identical tables.
 DEFAULT_SEED = 0
 
 
@@ -71,7 +55,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    subparsers.add_parser("list", help="list the available experiments")
+    subparsers.add_parser(
+        "list", help="list the available experiments with their parameter schemas"
+    )
 
     run_parser = subparsers.add_parser("run", help="run one or more experiments")
     run_parser.add_argument(
@@ -80,7 +66,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="experiment ids (E1..E10) or 'all'",
     )
     run_parser.add_argument(
-        "--quick", action="store_true", help="use reduced workloads (seconds instead of minutes)"
+        "--quick", action="store_true", help="use the spec's quick preset (seconds, not minutes)"
     )
     run_parser.add_argument(
         "--output-dir",
@@ -93,9 +79,18 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=DEFAULT_SEED,
         help=(
-            "master seed forwarded to every experiment that accepts one "
+            "master seed forwarded to every experiment whose spec declares one "
             f"(default: {DEFAULT_SEED}); for a fixed seed, runs — including "
             "--quick runs — are reproducible bit-for-bit across machines"
+        ),
+    )
+    run_parser.add_argument(
+        "--engine",
+        choices=ENGINE_CHOICES,
+        default=None,
+        help=(
+            "execution engine for every spec with the engine capability "
+            "(default: the spec's own default, auto)"
         ),
     )
     run_parser.add_argument(
@@ -104,6 +99,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         metavar="N",
         help="run the selected experiments over N worker processes (default: 1, serial)",
+    )
+    run_parser.add_argument(
+        "--backend",
+        choices=BACKEND_CHOICES,
+        default=None,
+        help=(
+            "execution backend (default: inline, or process-pool when "
+            "--parallel N > 1)"
+        ),
     )
     run_parser.add_argument(
         "--no-cache",
@@ -129,131 +133,70 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _resolve_experiment_ids(requested: Sequence[str]) -> List[str]:
-    if any(token.lower() == "all" for token in requested):
-        return list(ALL_EXPERIMENTS)
-    resolved = []
-    for token in requested:
-        experiment_id = token.upper()
-        if experiment_id not in ALL_EXPERIMENTS:
-            raise SystemExit(
-                f"unknown experiment {token!r}; available: {', '.join(ALL_EXPERIMENTS)} or 'all'"
-            )
-        resolved.append(experiment_id)
-    return resolved
-
-
-def _experiment_kwargs(experiment_id: str, quick: bool, seed: int) -> Dict[str, object]:
-    """The keyword arguments of one experiment run: the quick-scale overrides
-    plus the master seed, for experiments whose signature accepts one."""
-    kwargs: Dict[str, object] = dict(QUICK_PARAMETERS.get(experiment_id, {})) if quick else {}
-    if "seed" not in kwargs and accepts_seed(ALL_EXPERIMENTS[experiment_id]):
-        kwargs["seed"] = seed
-    return kwargs
-
-
-def _run_experiment_worker(experiment_id: str, kwargs: Dict[str, object]) -> Dict[str, object]:
-    """Top-level worker body for ``--parallel`` (must be picklable)."""
-    result = ALL_EXPERIMENTS[experiment_id](**kwargs)
-    return result.to_dict()
-
-
 def _command_list(stream) -> int:
-    for experiment_id, function in ALL_EXPERIMENTS.items():
-        summary = (function.__doc__ or "").strip().splitlines()[0]
-        print(f"{experiment_id:4s} {summary}", file=stream)
+    for experiment_id, spec in REGISTRY.items():
+        print(f"{experiment_id:4s} {spec.title}", file=stream)
+        tags = ", ".join(spec.capabilities) if spec.capabilities else "none"
+        print(f"     capabilities: {tags}", file=stream)
+        schema = ", ".join(parameter.render() for parameter in spec.parameters)
+        print(f"     parameters  : {schema}", file=stream)
+        if spec.quick:
+            quick = ", ".join(f"{name}={value!r}" for name, value in spec.quick.items())
+            print(f"     quick preset: {quick}", file=stream)
     return 0
 
 
 def _command_run(args: argparse.Namespace, stream) -> int:
-    experiment_ids = _resolve_experiment_ids(args.experiments)
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    try:
+        experiment_ids = REGISTRY.select(args.experiments)
+    except KeyError as error:
+        raise SystemExit(str(error.args[0]))
 
-    # Cache lookups, and the plan of what must actually run.
-    cached: Dict[str, ExperimentResult] = {}
-    cached_paths: Dict[str, Path] = {}
-    plan: List[Tuple[str, Dict[str, object], Optional[str]]] = []
-    for experiment_id in experiment_ids:
-        if experiment_id in cached or any(entry[0] == experiment_id for entry in plan):
-            continue  # deduplicate repeated ids on the command line
-        kwargs = _experiment_kwargs(experiment_id, args.quick, args.seed)
-        key = None
-        if cache is not None:
-            # The seed is already inside kwargs exactly when the experiment
-            # accepts one, so keying on kwargs alone lets seed-less
-            # experiments (E3) share cache entries across --seed values.
-            key = cache_key(experiment_id, kwargs, seed=None)
-            payload = cache.get(key)
-            if payload is not None:
-                try:
-                    cached[experiment_id] = ExperimentResult.from_dict(payload)
-                except (KeyError, TypeError, ValueError):
-                    pass  # foreign/stale payload shape: treat as a miss
-                else:
-                    cached_paths[experiment_id] = cache.path_for(key)
-                    continue
-        plan.append((experiment_id, kwargs, key))
-
-    # Run the misses — over a process pool when asked — and stream each
-    # result (render / cache / artifact) as soon as it is available, in the
-    # requested order, so long runs show progress and an interrupted run
-    # keeps everything already printed and persisted.
-    pool = (
-        ProcessPoolExecutor(max_workers=args.parallel)
-        if args.parallel > 1 and len(plan) > 1
-        else None
+    if args.no_cache:
+        cache = None
+    elif args.cache_dir is not None:
+        cache = args.cache_dir
+    else:
+        cache = True
+    session = Session(
+        seed=args.seed,
+        engine=args.engine,
+        cache=cache,
+        backend=args.backend,
+        parallel=args.parallel,
     )
-    futures = {}
-    if pool is not None:
-        for experiment_id, kwargs, _key in plan:
-            futures[experiment_id] = pool.submit(_run_experiment_worker, experiment_id, kwargs)
-    plan_by_id = {experiment_id: (kwargs, key) for experiment_id, kwargs, key in plan}
+    preset = PRESET_QUICK if args.quick else PRESET_FULL
 
     failures: List[str] = []
-    emitted: Dict[str, ExperimentResult] = {}
-    try:
-        for experiment_id in experiment_ids:
-            from_cache = experiment_id in cached
-            if from_cache:
-                result = cached[experiment_id]
-            elif experiment_id in emitted:
-                result = emitted[experiment_id]
-            else:
-                kwargs, key = plan_by_id[experiment_id]
-                if pool is not None:
-                    result = ExperimentResult.from_dict(futures[experiment_id].result())
-                else:
-                    result = ALL_EXPERIMENTS[experiment_id](**kwargs)
-                if cache is not None and key is not None:
-                    cache.put(
-                        key,
-                        result.to_dict(),
-                        key_fields={"experiment_id": experiment_id, "parameters": kwargs},
-                    )
-                emitted[experiment_id] = result
-            print(render_experiment(result), file=stream)
-            if from_cache:
-                print(f"(cached result reused from {cached_paths[experiment_id]})", file=stream)
-            print(file=stream)
-            if args.output_dir is not None:
-                path = write_json(result, Path(args.output_dir) / f"{experiment_id.lower()}.json")
-                print(f"wrote {path}", file=stream)
-            # Anything but an affirmative verdict is a failure: an unset
-            # verdict (None) means the experiment never judged its claim,
-            # which CI must not mistake for a green run.
-            if result.matches_paper is not True:
-                failures.append(experiment_id)
-    finally:
-        if pool is not None:
-            pool.shutdown(wait=False, cancel_futures=True)
+    # run_iter streams reports in request order as soon as each is available,
+    # so long runs show progress and an interrupted run keeps everything
+    # already printed and persisted.
+    for report in session.run_iter(
+        [session.request(experiment_id, preset=preset) for experiment_id in experiment_ids]
+    ):
+        _emit_report(report, args.output_dir, stream)
+        # Anything but an affirmative verdict is a failure: an unset verdict
+        # (None) means the experiment never judged its claim, which CI must
+        # not mistake for a green run.
+        if not report.ok:
+            failures.append(report.experiment_id)
     if failures:
         print(
-            f"FAILED verdicts ({len(failures)}/{len(experiment_ids)}): "
-            + ", ".join(failures),
+            f"FAILED verdicts ({len(failures)}/{len(experiment_ids)}): " + ", ".join(failures),
             file=stream,
         )
         return 1
     return 0
+
+
+def _emit_report(report: RunReport, output_dir: Optional[Path], stream) -> None:
+    print(render_experiment(report.result), file=stream)
+    if report.from_cache:
+        print(f"(cached result reused from {report.cache_path})", file=stream)
+    print(file=stream)
+    if output_dir is not None:
+        path = write_json(report.result, output_dir / f"{report.experiment_id.lower()}.json")
+        print(f"wrote {path}", file=stream)
 
 
 def _command_report(args: argparse.Namespace, stream) -> int:

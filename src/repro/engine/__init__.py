@@ -62,7 +62,7 @@ from repro.engine.adapters import (
     engine_success_counts,
     resolve_engine,
 )
-from repro.engine.cache import ResultCache, cache_key, default_cache_dir
+from repro.engine.cache import ResultCache, cache_key, default_cache_dir, request_cache_key
 from repro.engine.compiler import (
     MAX_PROGRAM_DRAWS,
     CompiledDecision,
@@ -149,6 +149,7 @@ __all__ = [
     "majority",
     "neg",
     "point_seed",
+    "request_cache_key",
     "resolve_construction_engine",
     "resolve_engine",
     "uniform_choice",

@@ -5,11 +5,17 @@ scratch even though the experiments are deterministic functions of their
 parameters and seed.  :class:`ResultCache` memoises them on disk:
 
 * **Key** — the SHA-256 digest of the canonical JSON encoding of
-  ``{experiment_id, parameters, seed, version}``, where ``version`` is
-  :data:`repro.__version__`.  Any change to the workload parameters, the
-  seed, or the package version therefore produces a fresh key; bumping the
-  package version is the (only) invalidation rule, so results can never leak
-  across releases whose numerics may differ.
+  ``{schema, experiment_id, parameters, version}`` (:func:`request_cache_key`),
+  where ``parameters`` is the **fully normalized** mapping produced by the
+  experiment's :class:`~repro.harness.registry.ExperimentSpec` (every
+  parameter present, seed included when the spec declares one) and
+  ``version`` is :data:`repro.__version__`.  Any change to the workload
+  parameters, the seed, or the package version therefore produces a fresh
+  key; bumping the package version is the (only) invalidation rule, so
+  results can never leak across releases whose numerics may differ.  The
+  ``schema`` marker separates the key space from the legacy
+  :func:`cache_key` scheme (raw kwargs + top-level seed), so old-style and
+  new-style keys can never collide.
 * **Location** — the directory given explicitly, else the
   ``REPRO_CACHE_DIR`` environment variable, else ``.repro-cache/`` under the
   current working directory.  One ``<key>.json`` file per entry, holding the
@@ -29,7 +35,12 @@ import tempfile
 from pathlib import Path
 from typing import Dict, Mapping, Optional
 
-__all__ = ["ResultCache", "cache_key", "default_cache_dir"]
+__all__ = ["ResultCache", "cache_key", "request_cache_key", "default_cache_dir"]
+
+#: Version of the key layout of :func:`request_cache_key`.  Bump when the
+#: key fields change shape; the field's presence alone already separates the
+#: new key space from the legacy :func:`cache_key` encoding.
+REQUEST_KEY_SCHEMA = 2
 
 #: Environment variable overriding the default cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -63,13 +74,43 @@ def cache_key(
     seed: Optional[int],
     version: Optional[str] = None,
 ) -> str:
-    """The content address of one experiment run (see the module docstring)."""
+    """The **legacy** content address: raw keyword dicts plus a top-level
+    seed field.  Kept for backward compatibility with existing caches and
+    external callers; new code should address runs through
+    :func:`request_cache_key` (normally via
+    :meth:`repro.harness.registry.ExperimentSpec.cache_key`)."""
     if version is None:
         from repro import __version__ as version
     fields = {
         "experiment_id": str(experiment_id),
         "parameters": _canonical(parameters),
         "seed": seed,
+        "version": str(version),
+    }
+    encoded = json.dumps(fields, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf8")).hexdigest()
+
+
+def request_cache_key(
+    experiment_id: str,
+    parameters: Mapping[str, object],
+    version: Optional[str] = None,
+) -> str:
+    """The canonical content address of one run request.
+
+    ``parameters`` must be the fully normalized mapping of the experiment's
+    spec (defaults applied, sequences as lists, seed inside the mapping when
+    the spec declares one).  The encoded fields carry a ``schema`` marker and
+    no top-level ``seed``, so a request key can never collide with a legacy
+    :func:`cache_key` (whose encoding always has a ``seed`` field and no
+    ``schema``).
+    """
+    if version is None:
+        from repro import __version__ as version
+    fields = {
+        "schema": REQUEST_KEY_SCHEMA,
+        "experiment_id": str(experiment_id),
+        "parameters": _canonical(parameters),
         "version": str(version),
     }
     encoded = json.dumps(fields, sort_keys=True, separators=(",", ":"))

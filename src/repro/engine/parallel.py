@@ -1,18 +1,28 @@
-"""Parallel parameter sweeps over a process pool.
+"""Parallel execution over a process pool: sweeps and request fan-out.
 
 :class:`ParallelSweepRunner` is the multi-core counterpart of
 :func:`repro.analysis.sweep.sweep`: it evaluates the same Cartesian grid,
 produces the same :class:`~repro.analysis.sweep.SweepResult` (rows in grid
 order, key-collision checking included), but fans the grid points out over a
-``concurrent.futures.ProcessPoolExecutor``.
+``concurrent.futures.ProcessPoolExecutor``.  Its lower-level
+:meth:`~ParallelSweepRunner.imap` / :meth:`~ParallelSweepRunner.map` primitives
+fan out arbitrary picklable calls in submission order — they are what the
+``process-pool`` execution backend of :mod:`repro.api` is built on.
 
 Determinism is preserved under any worker count and any completion order:
 
-* rows are collected in grid order, not completion order;
-* when a master ``seed`` is configured and the experiment accepts a ``seed``
-  keyword, every point receives a seed derived (via the package-wide SHA-256
-  derivation) from the master seed and the point's own parameters — the seed
-  of a point never depends on which worker ran it or on the grid shape.
+* results come back in submission (grid) order, not completion order;
+* when a master ``seed`` is configured, every grid point receives a seed
+  derived (via the package-wide SHA-256 derivation) from the master seed and
+  the point's own parameters — the seed of a point never depends on which
+  worker ran it or on the grid shape.
+
+Seeding is **declared, not introspected**: the runner injects the derived
+seed under ``seed_parameter`` (default ``"seed"``) whenever a master seed is
+set; pass ``seed_parameter=None`` for experiments that do not take one.  (The
+old ``accepts_seed`` signature-introspection helper is gone — the experiment
+registry's :class:`~repro.harness.registry.ExperimentSpec` now carries the
+seed contract explicitly.)
 
 The experiment callable and its parameter values must be picklable (a
 top-level function, like every experiment in :mod:`repro.harness`); for
@@ -22,14 +32,14 @@ evaluate serially through the exact same code path.
 
 from __future__ import annotations
 
-import inspect
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Dict, Mapping, Optional, Sequence
+from functools import partial
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence
 
 from repro.analysis.sweep import SweepResult, grid_points, merge_point_row
 from repro.local.randomness import derive_seed
 
-__all__ = ["ParallelSweepRunner", "accepts_seed", "point_seed"]
+__all__ = ["ParallelSweepRunner", "point_seed"]
 
 
 def point_seed(master_seed: int, point: Mapping[str, object]) -> int:
@@ -46,26 +56,8 @@ def _evaluate_point(
     return dict(experiment(**kwargs))
 
 
-def accepts_seed(experiment: Callable[..., object]) -> bool:
-    """Whether a callable takes a ``seed`` keyword (directly or via
-    ``**kwargs``); shared by the sweep runner and the CLI's seed plumbing."""
-    try:
-        signature = inspect.signature(experiment)
-    except (TypeError, ValueError):  # pragma: no cover - builtins, C callables
-        return False
-    for parameter in signature.parameters.values():
-        if parameter.kind is inspect.Parameter.VAR_KEYWORD:
-            return True
-        if parameter.name == "seed" and parameter.kind in (
-            inspect.Parameter.POSITIONAL_OR_KEYWORD,
-            inspect.Parameter.KEYWORD_ONLY,
-        ):
-            return True
-    return False
-
-
 class ParallelSweepRunner:
-    """Evaluate a parameter grid over a process pool.
+    """Evaluate parameter grids (and arbitrary call batches) over a pool.
 
     Parameters
     ----------
@@ -77,23 +69,68 @@ class ParallelSweepRunner:
     seed:
         Master seed for deterministic per-point seeding; ``None`` leaves the
         experiment's own ``seed`` default untouched.
+    seed_parameter:
+        The keyword the derived per-point seed is injected under; ``None``
+        disables injection (for experiments without a seed parameter).
     """
 
-    def __init__(self, max_workers: Optional[int] = None, seed: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        seed: Optional[int] = None,
+        seed_parameter: Optional[str] = "seed",
+    ) -> None:
         if max_workers is not None and max_workers < 0:
             raise ValueError("max_workers must be non-negative (0 = run serially)")
         self.max_workers = max_workers
         self.seed = seed
+        self.seed_parameter = seed_parameter
 
     # ------------------------------------------------------------------ #
-    def _point_kwargs(
+    def imap(
         self,
-        experiment: Callable[..., Mapping[str, object]],
-        point: Mapping[str, object],
-    ) -> Dict[str, object]:
+        function: Callable[[Dict[str, object]], object],
+        payloads: Sequence[Dict[str, object]],
+    ) -> Iterator[object]:
+        """Apply ``function`` to every payload, yielding results in
+        submission order.
+
+        Over a pool, all payloads are submitted eagerly (before the first
+        yield) and results stream back as the corresponding future resolves,
+        so a slow first payload does not idle the other workers; with
+        ``max_workers=0`` (or a single payload) the calls run serially
+        in-process, lazily, through the same interface.
+        """
+        if self.max_workers == 0 or len(payloads) <= 1:
+            for payload in payloads:
+                yield function(payload)
+            return
+
+        pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        try:
+            futures = [pool.submit(function, payload) for payload in payloads]
+            for future in futures:
+                yield future.result()
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def map(
+        self,
+        function: Callable[[Dict[str, object]], object],
+        payloads: Sequence[Dict[str, object]],
+    ) -> List[object]:
+        """:meth:`imap`, fully materialized."""
+        return list(self.imap(function, payloads))
+
+    # ------------------------------------------------------------------ #
+    def _point_kwargs(self, point: Mapping[str, object]) -> Dict[str, object]:
         kwargs = dict(point)
-        if self.seed is not None and "seed" not in kwargs and accepts_seed(experiment):
-            kwargs["seed"] = point_seed(self.seed, point)
+        if (
+            self.seed is not None
+            and self.seed_parameter is not None
+            and self.seed_parameter not in kwargs
+        ):
+            kwargs[self.seed_parameter] = point_seed(self.seed, point)
         return kwargs
 
     def run(
@@ -104,17 +141,8 @@ class ParallelSweepRunner:
         """Run ``experiment(**point)`` for every grid point; rows come back
         in grid order regardless of which worker finished first."""
         points = grid_points(parameters)
-        kwargs_per_point = [self._point_kwargs(experiment, point) for point in points]
-
-        if self.max_workers == 0 or len(points) <= 1:
-            measurements = [_evaluate_point(experiment, kwargs) for kwargs in kwargs_per_point]
-        else:
-            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-                futures = [
-                    pool.submit(_evaluate_point, experiment, kwargs)
-                    for kwargs in kwargs_per_point
-                ]
-                measurements = [future.result() for future in futures]
+        kwargs_per_point = [self._point_kwargs(point) for point in points]
+        measurements = self.map(partial(_evaluate_point, experiment), kwargs_per_point)
 
         result = SweepResult()
         for point, measured in zip(points, measurements):

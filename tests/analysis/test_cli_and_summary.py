@@ -7,8 +7,9 @@ import io
 
 import pytest
 
-from repro.cli import QUICK_PARAMETERS, build_parser, main
+from repro.cli import build_parser, main
 from repro.harness.experiments import ALL_EXPERIMENTS
+from repro.harness.registry import REGISTRY
 from repro.harness.reporting import write_json
 from repro.harness.results import ExperimentResult
 from repro.harness.summary import (
@@ -81,8 +82,23 @@ class TestCliParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["report"])
 
-    def test_quick_parameters_cover_all_experiments(self):
-        assert set(QUICK_PARAMETERS) == set(ALL_EXPERIMENTS)
+    def test_quick_presets_cover_all_experiments(self):
+        """The reduced workloads live on the specs now (the CLI-side
+        QUICK_PARAMETERS table is gone); every spec must declare one."""
+        assert set(REGISTRY) == set(ALL_EXPERIMENTS)
+        assert all(REGISTRY[experiment_id].quick for experiment_id in REGISTRY)
+
+    def test_cli_holds_no_experiment_parameter_tables(self):
+        """The CLI is a thin client of repro.api: no per-experiment parameter
+        dicts, no signature introspection."""
+        import repro.cli as cli_module
+
+        assert not hasattr(cli_module, "QUICK_PARAMETERS")
+        import inspect
+
+        source = inspect.getsource(cli_module)
+        assert "accepts_seed" not in source
+        assert "ALL_EXPERIMENTS" not in source
 
 
 class TestCliExecution:
@@ -92,6 +108,19 @@ class TestCliExecution:
         output = stream.getvalue()
         for experiment_id in ALL_EXPERIMENTS:
             assert experiment_id in output
+
+    def test_list_renders_schema_presets_and_capabilities(self):
+        stream = io.StringIO()
+        assert main(["list"], stream=stream) == 0
+        output = stream.getvalue()
+        # Parameter schemas with typed defaults, not bare ids.
+        assert "trials=2000 (int)" in output  # E5's schema
+        assert "sizes=[12, 40] (seq[int])" in output  # E1's schema
+        # Engine-capability tags and the quick presets are shown.
+        assert "capabilities: seed, engine" in output
+        assert "capabilities: seed\n" in output  # E4/E10 declare no engine
+        assert "quick preset: n=15, trials=400" in output  # E7's preset
+        assert "engine='auto'" in output
 
     def test_run_quick_single_experiment_writes_artifact(self, tmp_path):
         stream = io.StringIO()
@@ -122,11 +151,15 @@ class TestCliExecution:
     def test_report_empty_directory_fails(self, tmp_path):
         assert main(["report", "--results", str(tmp_path)], stream=io.StringIO()) == 1
 
-    def test_run_exits_nonzero_on_failed_verdict(self, monkeypatch):
-        from repro import cli
+    @staticmethod
+    def _stub_spec(runner):
+        from repro.harness.registry import ExperimentSpec
 
+        return ExperimentSpec(id="E1", title="stub", runner=runner, parameters=())
+
+    def test_run_exits_nonzero_on_failed_verdict(self, monkeypatch):
         monkeypatch.setitem(
-            cli.ALL_EXPERIMENTS, "E1", lambda **kwargs: toy_result("E1", matches=False)
+            REGISTRY, "E1", self._stub_spec(lambda: toy_result("E1", matches=False))
         )
         stream = io.StringIO()
         assert main(["run", "E1", "--no-cache"], stream=stream) == 1
@@ -134,12 +167,11 @@ class TestCliExecution:
 
     def test_run_exits_nonzero_on_unset_verdict(self, monkeypatch):
         """A verdict that was never judged must not read as green in CI."""
-        from repro import cli
 
-        def unjudged(**kwargs):
+        def unjudged():
             result = toy_result("E1", matches=True)
             result.matches_paper = None
             return result
 
-        monkeypatch.setitem(cli.ALL_EXPERIMENTS, "E1", unjudged)
+        monkeypatch.setitem(REGISTRY, "E1", self._stub_spec(unjudged))
         assert main(["run", "E1", "--no-cache"], stream=io.StringIO()) == 1

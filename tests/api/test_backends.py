@@ -1,0 +1,106 @@
+"""Tests for the pluggable execution backends (repro.api.backends)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import (
+    BACKEND_CHOICES,
+    BatchBackend,
+    InlineBackend,
+    ProcessPoolBackend,
+    Session,
+    resolve_backend,
+)
+from repro.api.backends import execute_payload
+
+
+def _payloads(session, *ids):
+    return [session.request(experiment_id, preset="quick").to_payload() for experiment_id in ids]
+
+
+class TestResolveBackend:
+    def test_names_resolve(self):
+        assert resolve_backend("inline").name == "inline"
+        assert resolve_backend("process-pool").name == "process-pool"
+        assert resolve_backend("batch").name == "batch"
+        assert set(BACKEND_CHOICES) == {"inline", "process-pool", "batch"}
+
+    def test_default_is_inline_unless_parallel(self):
+        assert resolve_backend(None).name == "inline"
+        assert resolve_backend(None, parallel=1).name == "inline"
+        assert resolve_backend(None, parallel=3).name == "process-pool"
+
+    def test_instances_pass_through(self):
+        backend = BatchBackend()
+        assert resolve_backend(backend) is backend
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend("mainframe")
+
+    def test_pool_worker_count_validated(self):
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(max_workers=0)
+
+    def test_pool_rejects_custom_registries(self):
+        """Worker processes resolve ids through the importable global
+        registry only; silently running the wrong specs is refused."""
+        from repro.harness.registry import REGISTRY, ExperimentRegistry
+
+        backend = ProcessPoolBackend(max_workers=2)
+        with pytest.raises(ValueError, match="custom registry"):
+            list(backend.execute([], registry=ExperimentRegistry()))
+        # The shipped registry (what Session passes by default) is fine.
+        assert list(backend.execute([], registry=REGISTRY)) == []
+
+
+class TestExecutePayload:
+    def test_resolves_through_the_registry(self):
+        session = Session(seed=2, cache=None)
+        payload = session.request("E5", preset="quick", trials=150).to_payload()
+        record = execute_payload(payload)
+        assert record["experiment_id"] == "E5"
+        assert record["matches_paper"] is True
+
+    def test_unknown_experiment_fails_loudly(self):
+        with pytest.raises(KeyError):
+            execute_payload({"experiment_id": "E99", "parameters": {}})
+
+
+class TestBackendEquivalence:
+    """All three backends produce identical results in submission order."""
+
+    def test_inline_pool_and_batch_agree_bit_for_bit(self):
+        session = Session(seed=4, cache=None)
+        payloads = [
+            session.request("E5", preset="quick", trials=150).to_payload(),
+            session.request("E1", preset="quick", trials=150).to_payload(),
+        ]
+        inline = [result.to_dict() for result in InlineBackend().execute(payloads)]
+        pooled = [
+            result.to_dict()
+            for result in ProcessPoolBackend(max_workers=2).execute(payloads)
+        ]
+        batched = [result.to_dict() for result in BatchBackend().execute(payloads)]
+        assert [record["experiment_id"] for record in inline] == ["E5", "E1"]
+        assert pooled == inline
+        assert batched == inline
+
+    def test_batch_manifest_is_json_and_complete(self):
+        session = Session(seed=4, cache=None)
+        backend = BatchBackend()
+        payloads = _payloads(session, "E5")
+        list(backend.execute(payloads))
+        manifest = json.loads(backend.last_manifest)
+        assert manifest["schema"] == 1
+        assert manifest["requests"] == payloads
+
+    def test_inline_backend_is_lazy(self):
+        session = Session(seed=4, cache=None)
+        iterator = InlineBackend().execute(_payloads(session, "E5", "E1"))
+        first = next(iterator)
+        assert first.experiment_id == "E5"
+        iterator.close()  # abandoning the iterator must not raise

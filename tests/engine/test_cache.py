@@ -4,8 +4,16 @@ from __future__ import annotations
 
 import json
 
+import pytest
+
 import repro
-from repro.engine.cache import CACHE_DIR_ENV, ResultCache, cache_key, default_cache_dir
+from repro.engine.cache import (
+    CACHE_DIR_ENV,
+    ResultCache,
+    cache_key,
+    default_cache_dir,
+    request_cache_key,
+)
 
 
 class TestCacheKey:
@@ -26,6 +34,56 @@ class TestCacheKey:
 
     def test_tuples_and_lists_key_identically(self):
         assert cache_key("E1", {"sizes": (9, 12)}, 0) == cache_key("E1", {"sizes": [9, 12]}, 0)
+
+
+class TestRequestCacheKeyCanonicalization:
+    """The spec-derived key scheme: same logical request → same key, version
+    bump invalidates, and the legacy key space can never be re-entered."""
+
+    PARAMS = {"f_values": [1, 2], "n": 60, "trials": 100, "seed": 0, "engine": "auto"}
+
+    def test_identical_across_dict_orderings(self):
+        reordered = dict(reversed(list(self.PARAMS.items())))
+        assert list(reordered) != list(self.PARAMS)  # genuinely different orderings
+        assert request_cache_key("E5", self.PARAMS) == request_cache_key("E5", reordered)
+
+    def test_tuples_and_lists_key_identically(self):
+        a = request_cache_key("E5", {**self.PARAMS, "f_values": (1, 2)})
+        assert a == request_cache_key("E5", self.PARAMS)
+
+    def test_sensitive_to_every_parameter(self):
+        base = request_cache_key("E5", self.PARAMS)
+        for name, changed in [
+            ("n", 61),
+            ("seed", 1),
+            ("engine", "exact"),
+            ("f_values", [1, 3]),
+        ]:
+            assert request_cache_key("E5", {**self.PARAMS, name: changed}) != base
+        assert request_cache_key("E6", self.PARAMS) != base
+
+    def test_version_bump_invalidates(self):
+        assert request_cache_key("E5", self.PARAMS) == request_cache_key(
+            "E5", self.PARAMS, version=repro.__version__
+        )
+        assert request_cache_key("E5", self.PARAMS, version="0.0.0-other") != request_cache_key(
+            "E5", self.PARAMS
+        )
+
+    @pytest.mark.parametrize("seed", [None, 0, 1])
+    def test_never_collides_with_old_style_keys(self, seed):
+        """The legacy encoding always carries a top-level seed field and no
+        schema marker, so for any parameter mapping and any legacy seed the
+        two schemes hash different field sets."""
+        for parameters in ({}, self.PARAMS, {"schema": 2}):
+            assert request_cache_key("E5", parameters) != cache_key("E5", parameters, seed)
+
+    def test_spec_cache_key_agrees_with_request_cache_key(self):
+        from repro.harness.registry import REGISTRY
+
+        spec = REGISTRY["E5"]
+        normalized = spec.validate({"trials": 100, "n": 60})
+        assert spec.cache_key({"trials": 100, "n": 60}) == request_cache_key("E5", normalized)
 
 
 class TestResultCache:

@@ -1,10 +1,15 @@
-"""Tests for the engine-era CLI flags: --seed, --parallel, --no-cache."""
+"""Tests for the run-context CLI flags: --seed, --engine, --parallel,
+--backend, --no-cache — all thin pass-throughs to repro.api.Session."""
 
 from __future__ import annotations
 
 import io
 
+import pytest
+
 from repro.cli import DEFAULT_SEED, build_parser, main
+from repro.harness.registry import REGISTRY, ExperimentSpec, ParameterSpec
+from repro.harness.results import ExperimentResult
 
 
 def run_cli(argv):
@@ -21,6 +26,19 @@ class TestParsing:
         assert args.parallel == 2
         assert args.no_cache
         assert args.seed == 7
+        assert args.engine is None
+
+    def test_engine_flag_parses_and_validates(self):
+        args = build_parser().parse_args(["run", "E5", "--engine", "exact"])
+        assert args.engine == "exact"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "E5", "--engine", "warp"])
+
+    def test_backend_flag_parses_and_validates(self):
+        args = build_parser().parse_args(["run", "E5", "--backend", "batch"])
+        assert args.backend == "batch"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "E5", "--backend", "mainframe"])
 
     def test_defaults(self):
         args = build_parser().parse_args(["run", "E3"])
@@ -28,6 +46,8 @@ class TestParsing:
         assert not args.no_cache
         assert args.seed == DEFAULT_SEED
         assert args.cache_dir is None
+        assert args.engine is None
+        assert args.backend is None
 
     def test_seed_default_documented_in_help(self, capsys):
         try:
@@ -71,15 +91,30 @@ class TestRunBehaviour:
         assert code == 0
         assert "cached result reused" not in out
 
-    def test_seedless_experiment_shares_cache_across_seeds(self, tmp_path, monkeypatch):
-        """An experiment without a seed parameter cannot be changed by --seed,
-        so --seed must not change its cache key either.  (Every shipped
-        experiment now accepts a seed — E3 gained one with its engine-run
-        decider stage — so the behaviour is pinned with a synthetic one.)"""
-        from repro import cli
-        from repro.harness.results import ExperimentResult
+    def test_different_engine_misses_cache(self, tmp_path):
+        base = ["run", "E5", "--quick", "--cache-dir", str(tmp_path)]
+        run_cli(base)
+        code, out = run_cli(base + ["--engine", "exact"])
+        assert code == 0
+        assert "cached result reused" not in out
 
-        def seedless_e3(n=15, trials=300):
+    def test_exact_engine_output_matches_reference(self, tmp_path):
+        """--engine exact and --engine off print bit-identical tables (the
+        engine's exactness contract, exercised through the CLI surface)."""
+        base = ["run", "E5", "--quick", "--seed", "5", "--no-cache"]
+        code_a, out_a = run_cli(base + ["--engine", "exact"])
+        code_b, out_b = run_cli(base + ["--engine", "off"])
+        assert code_a == code_b == 0
+        table_a = [line for line in out_a.splitlines() if "engine" not in line]
+        table_b = [line for line in out_b.splitlines() if "engine" not in line]
+        assert table_a == table_b
+
+    def test_seedless_experiment_shares_cache_across_seeds(self, tmp_path, monkeypatch):
+        """A spec without the seed contract cannot be changed by --seed, so
+        --seed must not change its cache key either.  (Every shipped spec now
+        declares a seed, so the behaviour is pinned with a synthetic one.)"""
+
+        def seedless_runner(n=15, trials=300):
             result = ExperimentResult(
                 experiment_id="E3", title="seedless", paper_claim="cache-key pinning"
             )
@@ -87,7 +122,16 @@ class TestRunBehaviour:
             result.matches_paper = True
             return result
 
-        monkeypatch.setitem(cli.ALL_EXPERIMENTS, "E3", seedless_e3)
+        spec = ExperimentSpec(
+            id="E3",
+            title="seedless stub",
+            runner=seedless_runner,
+            parameters=(
+                ParameterSpec("n", "int", 15),
+                ParameterSpec("trials", "int", 300),
+            ),
+        )
+        monkeypatch.setitem(REGISTRY, "E3", spec)
         base = ["run", "E3", "--quick", "--cache-dir", str(tmp_path)]
         run_cli(base)
         code, out = run_cli(base + ["--seed", "99"])
@@ -101,6 +145,13 @@ class TestRunBehaviour:
         parallel_argv = serial_argv + ["--parallel", "2"]
         code_a, out_a = run_cli(serial_argv)
         code_b, out_b = run_cli(parallel_argv)
+        assert code_a == code_b == 0
+        assert out_a == out_b
+
+    def test_batch_backend_matches_inline(self, tmp_path):
+        base = ["run", "E5", "--quick", "--seed", "2", "--no-cache"]
+        code_a, out_a = run_cli(base)
+        code_b, out_b = run_cli(base + ["--backend", "batch"])
         assert code_a == code_b == 0
         assert out_a == out_b
 

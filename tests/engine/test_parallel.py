@@ -62,10 +62,24 @@ class TestDeterministicSeeding:
         result = ParallelSweepRunner(max_workers=0).run(measure_with_seed, {"n": [4]})
         assert result.column("value") == [4000]
 
-    def test_seed_not_injected_when_experiment_rejects_it(self):
-        runner = ParallelSweepRunner(max_workers=0, seed=7)
+    def test_seeding_is_declared_not_introspected(self):
+        """Seed injection is controlled by the explicit ``seed_parameter``
+        contract (the old ``accepts_seed`` signature introspection is gone):
+        a seedless experiment is swept by declaring ``seed_parameter=None``."""
+        import repro.engine.parallel as parallel_module
+
+        assert not hasattr(parallel_module, "accepts_seed")
+        runner = ParallelSweepRunner(max_workers=0, seed=7, seed_parameter=None)
         result = runner.run(measure_sum, GRID)
         assert result.rows == sweep(measure_sum, GRID).rows
+
+    def test_custom_seed_parameter_name(self):
+        def measure_renamed(n, rng_seed=0):
+            return {"value": n * 1000 + rng_seed}
+
+        runner = ParallelSweepRunner(max_workers=0, seed=7, seed_parameter="rng_seed")
+        result = runner.run(measure_renamed, {"n": [1]})
+        assert result.column("value") == [1000 + point_seed(7, {"n": 1})]
 
     def test_explicit_seed_parameter_wins(self):
         runner = ParallelSweepRunner(max_workers=0, seed=7)
@@ -77,3 +91,34 @@ class TestDeterministicSeeding:
         serial = ParallelSweepRunner(max_workers=0, seed=3).run(measure_with_seed, grid)
         pooled = ParallelSweepRunner(max_workers=2, seed=3).run(measure_with_seed, grid)
         assert serial.rows == pooled.rows
+
+
+def double_payload(payload):
+    return {"doubled": payload["x"] * 2}
+
+
+class TestMapPrimitives:
+    PAYLOADS = [{"x": 1}, {"x": 2}, {"x": 3}]
+
+    def test_map_preserves_submission_order(self):
+        expected = [{"doubled": 2}, {"doubled": 4}, {"doubled": 6}]
+        assert ParallelSweepRunner(max_workers=0).map(double_payload, self.PAYLOADS) == expected
+        assert ParallelSweepRunner(max_workers=2).map(double_payload, self.PAYLOADS) == expected
+
+    def test_imap_streams_lazily_in_serial_mode(self):
+        calls = []
+
+        def recording(payload):
+            calls.append(payload["x"])
+            return payload["x"]
+
+        iterator = ParallelSweepRunner(max_workers=0).imap(recording, self.PAYLOADS)
+        assert next(iterator) == 1
+        assert calls == [1]  # later payloads not evaluated yet
+        assert list(iterator) == [2, 3]
+
+    def test_single_payload_short_circuits_the_pool(self):
+        # One payload runs in-process even with workers configured (no pool
+        # startup cost); unpicklable functions are therefore fine here.
+        result = ParallelSweepRunner(max_workers=4).map(lambda p: p["x"], [{"x": 9}])
+        assert result == [9]
