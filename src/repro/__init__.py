@@ -19,6 +19,12 @@ the paper's framework on top of it:
   (CSR adjacency + per-node Bernoulli vote probabilities) and evaluates
   thousands of trials as single array reductions, plus a process-pool sweep
   runner and the content-addressed JSON result cache behind the CLI;
+* :mod:`repro.stats` — adaptive-precision statistics: streaming
+  accumulators, Wilson/Hoeffding confidence intervals, and the
+  :class:`~repro.stats.PrecisionTarget` sequential-stopping rule the
+  chunked engine drives between chunks ("run until the CI half-width is
+  ±0.005 at 99%" instead of guessing trial counts); ``precision=None``
+  leaves every estimator bit-identical to its fixed-trial behaviour;
 * :mod:`repro.harness` — the declarative experiment layer: the
   :class:`~repro.harness.registry.ExperimentSpec` registry (typed parameter
   schemas, ``full``/``quick`` presets, seed/engine capabilities) over the
@@ -70,7 +76,7 @@ True
 True
 """
 
-__version__ = "2.0.0"
+__version__ = "2.1.0"
 
 __all__ = [
     "local",
@@ -79,6 +85,7 @@ __all__ = [
     "algorithms",
     "analysis",
     "engine",
+    "stats",
     "harness",
     "api",
     "__version__",

@@ -7,6 +7,12 @@ This module centralises how those probabilities are estimated: Bernoulli
 sampling with Wilson score intervals (robust near 0 and 1, where most of our
 estimates live), plus a sequential estimator that stops early once the
 interval is narrow enough.
+
+These are the standalone *scalar* helpers (one Python call per trial).  The
+engine-integrated adaptive layer — chunked sequential stopping over the
+vectorized trial streams, threaded through ``precision=`` on the core
+estimators — lives in :mod:`repro.stats`; prefer it for anything the engine
+can batch.
 """
 
 from __future__ import annotations

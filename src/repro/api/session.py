@@ -171,6 +171,13 @@ class Session:
     engine:
         Engine selector (``auto``/``exact``/``fast``/``off``) injected into
         every request whose spec declares the engine capability.
+    precision:
+        CI half-width target injected into every request whose spec declares
+        the precision capability (adaptive sequential stopping; the spec's
+        trial budget becomes a cap).  ``None`` leaves the schema default
+        (0.0, fixed trials) in place.
+    confidence:
+        Confidence level accompanying ``precision`` (same injection rule).
     cache:
         ``True`` (default) for the standard on-disk result cache, ``None`` or
         ``False`` to disable caching, a path for an explicit cache directory,
@@ -198,9 +205,13 @@ class Session:
         parallel: Optional[int] = None,
         registry: Optional[ExperimentRegistry] = None,
         progress: Optional[ProgressCallback] = None,
+        precision: Optional[float] = None,
+        confidence: Optional[float] = None,
     ) -> None:
         self.seed = seed
         self.engine = engine
+        self.precision = precision
+        self.confidence = confidence
         self.registry = registry if registry is not None else REGISTRY
         self.backend = resolve_backend(backend, parallel)
         self.progress = progress
@@ -227,7 +238,12 @@ class Session:
         session seed/engine) into a :class:`RunRequest`."""
         spec = self.spec(experiment_id)
         parameters = spec.resolve(
-            preset=preset, overrides=overrides, seed=self.seed, engine=self.engine
+            preset=preset,
+            overrides=overrides,
+            seed=self.seed,
+            engine=self.engine,
+            precision=self.precision,
+            confidence=self.confidence,
         )
         return RunRequest.create(spec.id, parameters, preset=preset)
 
@@ -385,7 +401,11 @@ class Session:
             ):
                 overrides["seed"] = point_seed(self.seed, point)
             parameters = spec.resolve(
-                preset=preset, overrides=overrides, engine=self.engine
+                preset=preset,
+                overrides=overrides,
+                engine=self.engine,
+                precision=self.precision,
+                confidence=self.confidence,
             )
             requests.append(RunRequest.create(spec.id, parameters, preset=preset))
 

@@ -94,6 +94,25 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     run_parser.add_argument(
+        "--precision",
+        type=float,
+        default=None,
+        metavar="HW",
+        help=(
+            "CI half-width target for every spec with the precision capability: "
+            "trials stream until the interval is at most ±HW (the spec's trial "
+            "budget becomes a cap) and verdicts become CI-aware — UNRESOLVED "
+            "instead of a flap when the CI straddles a threshold"
+        ),
+    )
+    run_parser.add_argument(
+        "--confidence",
+        type=float,
+        default=None,
+        metavar="C",
+        help="confidence level for --precision intervals (spec default: 0.99)",
+    )
+    run_parser.add_argument(
         "--parallel",
         type=int,
         default=1,
@@ -164,6 +183,8 @@ def _command_run(args: argparse.Namespace, stream) -> int:
         cache=cache,
         backend=args.backend,
         parallel=args.parallel,
+        precision=args.precision,
+        confidence=args.confidence,
     )
     preset = PRESET_QUICK if args.quick else PRESET_FULL
 
@@ -176,10 +197,16 @@ def _command_run(args: argparse.Namespace, stream) -> int:
     ):
         _emit_report(report, args.output_dir, stream)
         # Anything but an affirmative verdict is a failure: an unset verdict
-        # (None) means the experiment never judged its claim, which CI must
-        # not mistake for a green run.
+        # (None) means the experiment never judged its claim, and an
+        # UNRESOLVED one means the CI straddles a threshold — CI must not
+        # mistake either for a green run (rerun with a tighter --precision).
         if not report.ok:
-            failures.append(report.experiment_id)
+            verdict = report.result.verdict
+            failures.append(
+                report.experiment_id
+                if verdict == "fail"
+                else f"{report.experiment_id}({verdict})"
+            )
     if failures:
         print(
             f"FAILED verdicts ({len(failures)}/{len(experiment_ids)}): " + ", ".join(failures),

@@ -23,7 +23,6 @@ constructor against a language over a set of instances.
 
 from __future__ import annotations
 
-import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, Optional, Sequence, Tuple
@@ -31,8 +30,15 @@ from typing import Callable, Dict, Hashable, Optional, Sequence, Tuple
 from repro.core.languages import Configuration, DistributedLanguage
 from repro.engine.construct import (
     ConstructionCompilationError,
+    adaptive_success_estimate,
     batched_success_counts,
     resolve_construction_engine,
+)
+from repro.stats import (
+    PrecisionTarget,
+    ProbabilityEstimate,
+    sequential_estimate,
+    wilson_half_width,
 )
 from repro.local.algorithm import BallAlgorithm, LocalAlgorithm
 from repro.local.network import Network
@@ -165,10 +171,13 @@ class SuccessEstimate:
     ``per_instance`` maps the instance index to ``(success_rate,
     half_width)``.  ``success_probability`` — the empirical counterpart of
     the paper's ``r`` — is the minimum rate over the instances, because the
-    definition quantifies over *every* instance.
+    definition quantifies over *every* instance.  ``trials_used`` records
+    how many trials each instance consumed (the fixed budget without a
+    precision target; possibly fewer with one).
     """
 
     per_instance: Dict[int, Tuple[float, float]] = field(default_factory=dict)
+    trials_used: Dict[int, int] = field(default_factory=dict)
 
     @property
     def success_probability(self) -> float:
@@ -185,20 +194,6 @@ class SuccessEstimate:
         )
 
 
-def _wilson_half_width(successes: int, trials: int, z: float = 1.96) -> float:
-    if trials == 0:
-        return float("nan")
-    phat = successes / trials
-    denom = 1.0 + z * z / trials
-    center = (phat + z * z / (2 * trials)) / denom
-    spread = (
-        z
-        * math.sqrt(phat * (1 - phat) / trials + z * z / (4 * trials * trials))
-        / denom
-    )
-    return (min(1.0, center + spread) - max(0.0, center - spread)) / 2.0
-
-
 def estimate_success_probability(
     constructor: Constructor,
     language: DistributedLanguage,
@@ -206,6 +201,7 @@ def estimate_success_probability(
     trials: int = 200,
     seed: int = 0,
     engine: str = "auto",
+    precision: Optional[object] = None,
 ) -> SuccessEstimate:
     """Estimate Pr[(G, (x, y)) ∈ L] for every instance.
 
@@ -223,11 +219,42 @@ def estimate_success_probability(
     ``engine="auto"``/``"exact"`` replay the per-trial tape streams bit for
     bit, ``engine="fast"`` is fully vectorized and distributionally
     equivalent, ``engine="off"`` forces the reference loop.
+
+    ``precision`` (a :class:`~repro.stats.PrecisionTarget` or a bare
+    half-width) runs each instance's trials sequentially until the CI
+    half-width target is met, with ``trials`` as the per-instance cap; the
+    streams are chunk-invariant, so an instance stopping at ``k`` trials
+    reports exactly its fixed ``k``-trial rate, and ``precision=None`` is
+    bit-identical to the historical behaviour.
     """
+    target = PrecisionTarget.coerce(precision, default_cap=trials)
     mode = resolve_construction_engine(engine, constructor)
     estimate = SuccessEstimate()
     for index, network in enumerate(networks):
         runs = trials if constructor.randomized else 1
+        if target is not None and constructor.randomized:
+            adaptive: Optional[ProbabilityEstimate] = None
+            if mode != "off":
+                try:
+                    adaptive = adaptive_success_estimate(
+                        constructor,
+                        language,
+                        network,
+                        target,
+                        seed_base=seed * 1_000_003,
+                        salt=f"{constructor.name}/{index}",
+                        mode=mode,
+                    )
+                except ConstructionCompilationError:
+                    if engine != "auto":
+                        raise
+            if adaptive is None:
+                adaptive = _reference_adaptive_success(
+                    constructor, language, network, target, seed, index
+                )
+            estimate.per_instance[index] = (adaptive.estimate, adaptive.half_width)
+            estimate.trials_used[index] = adaptive.trials
+            continue
         successes = None
         if mode != "off":
             try:
@@ -256,6 +283,35 @@ def estimate_success_probability(
                 successes += int(language.contains(configuration))
         estimate.per_instance[index] = (
             successes / runs,
-            _wilson_half_width(successes, runs),
+            wilson_half_width(successes, runs),
         )
+        estimate.trials_used[index] = runs
     return estimate
+
+
+def _reference_adaptive_success(
+    constructor: Constructor,
+    language: DistributedLanguage,
+    network: Network,
+    target: PrecisionTarget,
+    seed: int,
+    index: int,
+) -> ProbabilityEstimate:
+    """Sequential stopping on the reference per-trial construction loop
+    (the non-compilable fallback); trial ``t`` replays
+    ``TapeFactory(seed * 1_000_003 + t, salt=f"{name}/{index}")`` exactly
+    like the fixed-trial loop."""
+    state = {"offset": 0}
+
+    def draw(count: int) -> int:
+        successes = 0
+        for trial in range(state["offset"], state["offset"] + count):
+            factory = TapeFactory(
+                seed * 1_000_003 + trial, salt=f"{constructor.name}/{index}"
+            )
+            configuration = constructor.configuration(network, tape_factory=factory)
+            successes += int(language.contains(configuration))
+        state["offset"] += count
+        return successes
+
+    return sequential_estimate(target, draw)

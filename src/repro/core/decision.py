@@ -62,8 +62,17 @@ from repro.core.languages import Configuration, DistributedLanguage, SELECTED
 from repro.core.lcl import LCLLanguage
 from repro.engine.adapters import (
     engine_acceptance_probability,
+    engine_adaptive_acceptance,
+    engine_adaptive_success,
     engine_success_counts,
     resolve_engine,
+)
+from repro.stats import (
+    PrecisionTarget,
+    ProbabilityEstimate,
+    sequential_estimate,
+    wilson_half_width,
+    wilson_interval,
 )
 from repro.engine.compiler import (
     Const,
@@ -274,6 +283,7 @@ class Decider(ABC):
         trials: int = 200,
         seed: int = 0,
         engine: str = "auto",
+        precision: Optional[object] = None,
     ) -> float:
         """Monte-Carlo estimate of Pr[all nodes accept] over the decider's
         coins (1 trial suffices for a deterministic decider).
@@ -284,7 +294,21 @@ class Decider(ABC):
         the decider is compilable the trials run through
         :mod:`repro.engine`; see the module docstring for the ``engine``
         values (``auto``/``exact`` are bit-identical to ``off``).
+
+        ``precision`` (a :class:`~repro.stats.PrecisionTarget` or a bare
+        half-width) switches to sequential stopping: trials stream in chunks
+        and stop once the CI half-width target is met, with ``trials``
+        demoted to the cap.  The trial streams are chunk-invariant, so a run
+        stopping at ``k`` trials returns exactly the fixed ``k``-trial
+        estimate; ``precision=None`` (the default) is bit-identical to the
+        historical fixed-trial behaviour.  Use :meth:`acceptance_estimate`
+        to also get the interval and the realized trial count.
         """
+        target = PrecisionTarget.coerce(precision, default_cap=trials)
+        if target is not None:
+            return self.acceptance_estimate(
+                configuration, trials=trials, seed=seed, engine=engine, precision=target
+            ).estimate
         if not self.randomized:
             return 1.0 if self.decide(configuration).accepted else 0.0
         mode = resolve_engine(engine, self)
@@ -304,6 +328,64 @@ class Decider(ABC):
             if self._accepts_with(balls, configuration, factory):
                 accepted += 1
         return accepted / trials
+
+    def acceptance_estimate(
+        self,
+        configuration: Configuration,
+        trials: int = 200,
+        seed: int = 0,
+        engine: str = "auto",
+        precision: Optional[object] = None,
+    ) -> ProbabilityEstimate:
+        """Pr[all accept] with its confidence interval and trial count.
+
+        Without a ``precision`` target this wraps the fixed ``trials``-trial
+        estimate (same coins as :meth:`acceptance_probability`) in a 95%
+        Wilson interval.  With one, trials stream in chunks and stop once
+        the target is met (``trials`` caps the run); the streams are the
+        fixed-trial streams, so a stop at ``k`` trials reports exactly the
+        fixed ``k``-trial estimate.  Structurally deterministic outcomes —
+        a non-randomized decider, or a configuration on which every vote
+        program is constant — return an exact degenerate estimate.
+        """
+        target = PrecisionTarget.coerce(precision, default_cap=trials)
+        confidence = target.confidence if target is not None else 0.95
+        if not self.randomized:
+            return ProbabilityEstimate.exact(
+                self.decide(configuration).accepted, confidence=confidence
+            )
+        if target is None:
+            rate = self.acceptance_probability(
+                configuration, trials=trials, seed=seed, engine=engine
+            )
+            successes = int(round(rate * trials))
+            interval = wilson_interval(successes, trials, confidence=confidence)
+            return ProbabilityEstimate(
+                successes=successes,
+                trials=trials,
+                ci_low=interval.low,
+                ci_high=interval.high,
+                confidence=confidence,
+            )
+        mode = resolve_engine(engine, self)
+        if mode != "off":
+            try:
+                return engine_adaptive_acceptance(self, configuration, target, seed, mode)
+            except ProgramCompilationError:
+                if engine != "auto":
+                    raise
+        balls = self._balls_of(configuration)
+        state = {"offset": 0}
+
+        def draw(count: int) -> int:
+            successes = 0
+            for trial in range(state["offset"], state["offset"] + count):
+                factory = TapeFactory(seed + trial, salt=self.name)
+                successes += int(self._accepts_with(balls, configuration, factory))
+            state["offset"] += count
+            return successes
+
+        return sequential_estimate(target, draw)
 
     # ------------------------------------------------------------------ #
     # Internal fast paths (shared with estimate_guarantee)
@@ -612,10 +694,13 @@ class GuaranteeEstimate:
     success_rate, half_width)`` where *success* means "all accept" on members
     and "some node rejects" on non-members.  The ``guarantee`` is the minimum
     success rate over all configurations — the empirical counterpart of the
-    paper's ``p``.
+    paper's ``p``.  ``trials_used`` records how many trials each
+    configuration consumed (equal to the fixed budget without a precision
+    target; possibly fewer with one).
     """
 
     per_configuration: Dict[int, Tuple[bool, float, float]] = field(default_factory=dict)
+    trials_used: Dict[int, int] = field(default_factory=dict)
 
     @property
     def guarantee(self) -> float:
@@ -634,24 +719,6 @@ class GuaranteeEstimate:
         return min(rates) if rates else float("nan")
 
 
-def _wilson_half_width(successes: int, trials: int, z: float = 1.96) -> float:
-    """Half-width of the Wilson score interval (used instead of the normal
-    approximation because success rates near 0 or 1 are common here)."""
-    if trials == 0:
-        return float("nan")
-    phat = successes / trials
-    denom = 1.0 + z * z / trials
-    center = (phat + z * z / (2 * trials)) / denom
-    spread = (
-        z
-        * math.sqrt(phat * (1 - phat) / trials + z * z / (4 * trials * trials))
-        / denom
-    )
-    low = max(0.0, center - spread)
-    high = min(1.0, center + spread)
-    return (high - low) / 2.0
-
-
 def estimate_guarantee(
     decider: Decider,
     language: DistributedLanguage,
@@ -659,6 +726,7 @@ def estimate_guarantee(
     trials: int = 400,
     seed: int = 0,
     engine: str = "auto",
+    precision: Optional[object] = None,
 ) -> GuaranteeEstimate:
     """Estimate the guarantee of ``decider`` for ``language``.
 
@@ -669,12 +737,42 @@ def estimate_guarantee(
     Compilable randomized deciders dispatch their trials to
     :mod:`repro.engine` (``engine="auto"``/``"exact"`` reproduce the
     reference coins bit for bit; see the module docstring).
+
+    ``precision`` (a :class:`~repro.stats.PrecisionTarget` or a bare
+    half-width) runs each configuration's trials sequentially until the CI
+    half-width target is met, with ``trials`` as the per-configuration cap;
+    the streams are chunk-invariant, so a configuration stopping at ``k``
+    trials reports exactly its fixed ``k``-trial rate, and
+    ``precision=None`` is bit-identical to the historical behaviour.
     """
+    target = PrecisionTarget.coerce(precision, default_cap=trials)
     mode = resolve_engine(engine, decider) if decider.randomized else "off"
     estimate = GuaranteeEstimate()
     for index, configuration in enumerate(configurations):
         member = language.contains(configuration)
         runs = 1 if not decider.randomized else trials
+        if target is not None and decider.randomized:
+            adaptive: Optional[ProbabilityEstimate] = None
+            if mode != "off":
+                try:
+                    adaptive = engine_adaptive_success(
+                        decider, configuration, member, target, seed, index, mode
+                    )
+                except ProgramCompilationError:
+                    if engine != "auto":
+                        raise
+                    mode = "off"  # inexpressible program: degrade to the reference loop
+            if adaptive is None:
+                adaptive = _reference_adaptive_success(
+                    decider, configuration, member, target, seed, index
+                )
+            estimate.per_configuration[index] = (
+                member,
+                adaptive.estimate,
+                adaptive.half_width,
+            )
+            estimate.trials_used[index] = adaptive.trials
+            continue
         successes: Optional[int] = None
         if mode != "off":
             try:
@@ -699,6 +797,34 @@ def estimate_guarantee(
         estimate.per_configuration[index] = (
             member,
             rate,
-            _wilson_half_width(successes, runs),
+            wilson_half_width(successes, runs),
         )
+        estimate.trials_used[index] = runs
     return estimate
+
+
+def _reference_adaptive_success(
+    decider: Decider,
+    configuration: Configuration,
+    member: bool,
+    target: PrecisionTarget,
+    seed: int,
+    index: int,
+) -> ProbabilityEstimate:
+    """Sequential stopping on the reference loop's per-trial coins (the
+    non-compilable fallback of :func:`estimate_guarantee`); trial ``t``
+    replays ``TapeFactory(seed * 1_000_003 + t, salt=f"{name}/{index}")``
+    exactly like the fixed-trial loop."""
+    balls = decider._balls_of(configuration)
+    state = {"offset": 0}
+
+    def draw(count: int) -> int:
+        successes = 0
+        for trial in range(state["offset"], state["offset"] + count):
+            factory = TapeFactory(seed * 1_000_003 + trial, salt=f"{decider.name}/{index}")
+            accepted = decider._accepts_with(balls, configuration, factory)
+            successes += int(accepted if member else not accepted)
+        state["offset"] += count
+        return successes
+
+    return sequential_estimate(target, draw)

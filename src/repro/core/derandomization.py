@@ -41,12 +41,14 @@ from repro.engine.adapters import engine_single_trial_votes, resolve_engine
 from repro.engine.compiler import ProgramCompilationError
 from repro.engine.construct import (
     ConstructionCompilationError,
+    adaptive_far_acceptance,
     batched_acceptance_and_membership,
     batched_far_acceptance,
     batched_success_counts,
     is_construction_compilable,
     resolve_construction_engine,
 )
+from repro.stats import PrecisionTarget, ProbabilityEstimate, sequential_estimate
 from repro.graphs.operations import GlueResult, disjoint_union, glue_instances
 from repro.local.network import Network
 from repro.local.randomness import TapeFactory
@@ -61,6 +63,7 @@ __all__ = [
     "find_hard_instances",
     "HardInstance",
     "far_acceptance_probability",
+    "far_acceptance_estimate",
     "choose_anchor",
     "AmplificationReport",
     "amplification_disjoint_union",
@@ -343,6 +346,7 @@ def far_acceptance_probability(
     trials: int = 200,
     seed: int = 0,
     engine: str = "auto",
+    precision: Optional[object] = None,
 ) -> float:
     """Estimate ``Pr[D accepts C(H) far from u]``.
 
@@ -359,7 +363,24 @@ def far_acceptance_probability(
     rebuilt per trial and the engine's role is the per-trial decision step.
     ``engine="auto"``/``"exact"`` remain bit-identical to ``"off"`` on both
     paths.
+
+    ``precision`` (a :class:`~repro.stats.PrecisionTarget` or a bare
+    half-width) switches to sequential stopping with ``trials`` as the cap
+    — see :func:`far_acceptance_estimate`, which also returns the interval.
     """
+    if precision is not None:
+        target = PrecisionTarget.coerce(precision, default_cap=trials)
+        if target is not None:
+            return far_acceptance_estimate(
+                constructor,
+                decider,
+                network,
+                node,
+                distance,
+                target,
+                seed=seed,
+                engine=engine,
+            ).estimate
     mode = resolve_engine(engine, decider)
     construction_mode = _construction_mode(engine, constructor)
     if construction_mode != "off":
@@ -396,6 +417,68 @@ def far_acceptance_probability(
         )
         accepted_far += int(outcome.accepted_far_from(configuration, node, distance))
     return accepted_far / trials
+
+
+def far_acceptance_estimate(
+    constructor: Constructor,
+    decider: Decider,
+    network: Network,
+    node: Hashable,
+    distance: int,
+    target: PrecisionTarget,
+    seed: int = 0,
+    engine: str = "auto",
+) -> ProbabilityEstimate:
+    """``Pr[D accepts C(H) far from u]`` under sequential stopping.
+
+    Same seeding and salts as :func:`far_acceptance_probability`; trials
+    stream in chunks (the fused construct→decide path when available, the
+    per-trial reference loop otherwise) and stop once ``target`` is met.
+    The streams are chunk-invariant, so stopping at ``k`` trials reports
+    exactly the fixed ``k``-trial estimate.
+    """
+    mode = resolve_engine(engine, decider)
+    construction_mode = _construction_mode(engine, constructor)
+    if construction_mode != "off":
+        try:
+            batched = adaptive_far_acceptance(
+                constructor,
+                decider,
+                network,
+                node,
+                distance,
+                target,
+                seed_base=seed * 104_729,
+                construct_salt="far/construct",
+                decide_salt="far/decide",
+                mode=construction_mode,
+            )
+        except ConstructionCompilationError:
+            if engine != "auto":
+                raise
+            batched = None
+        if batched is not None:
+            return batched
+    state = {"offset": 0, "mode": mode}
+
+    def draw(count: int) -> int:
+        accepted_far = 0
+        for trial in range(state["offset"], state["offset"] + count):
+            c_factory = TapeFactory(seed * 104_729 + trial, salt="far/construct")
+            configuration = constructor.configuration(network, tape_factory=c_factory)
+            outcome, state["mode"] = _decide_outcome(
+                decider,
+                configuration,
+                seed * 104_729 + trial,
+                "far/decide",
+                state["mode"],
+                allow_fallback=engine == "auto",
+            )
+            accepted_far += int(outcome.accepted_far_from(configuration, node, distance))
+        state["offset"] += count
+        return accepted_far
+
+    return sequential_estimate(target, draw)
 
 
 def choose_anchor(

@@ -28,10 +28,14 @@ import numpy as np
 
 from repro.engine.compiler import compile_decision, is_compilable
 from repro.engine.executor import (
+    AcceptStream,
     accept_vector,
     acceptance_probability,
+    adaptive_acceptance,
+    deterministic_accept_value,
     exact_single_trial_votes,
 )
+from repro.stats import PrecisionTarget, ProbabilityEstimate, sequential_estimate
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.decision import Decider
@@ -41,7 +45,9 @@ __all__ = [
     "ENGINE_CHOICES",
     "resolve_engine",
     "engine_acceptance_probability",
+    "engine_adaptive_acceptance",
     "engine_success_counts",
+    "engine_adaptive_success",
     "engine_single_trial_votes",
 ]
 
@@ -94,6 +100,65 @@ def engine_acceptance_probability(
         trial_seed=lambda trial: seed + trial,
         salt=decider.name,
     )
+
+
+def engine_adaptive_acceptance(
+    decider: "Decider",
+    configuration: "Configuration",
+    target: PrecisionTarget,
+    seed: int,
+    mode: str,
+) -> ProbabilityEstimate:
+    """Adaptive counterpart of :func:`engine_acceptance_probability`.
+
+    Same seeding convention (``TapeFactory(seed + trial, salt=decider.name)``
+    in exact mode), but trials stream in chunks until ``target`` is met —
+    stopping after ``k`` trials reports exactly the fixed ``k``-trial
+    estimate, because the streams are chunk-invariant.
+    """
+    compiled = compile_decision(decider, configuration)
+    return adaptive_acceptance(
+        compiled,
+        target,
+        seed=seed,
+        mode=mode,
+        trial_seed=lambda trial: seed + trial,
+        salt=decider.name,
+    )
+
+
+def engine_adaptive_success(
+    decider: "Decider",
+    configuration: "Configuration",
+    member: bool,
+    target: PrecisionTarget,
+    seed: int,
+    index: int,
+    mode: str,
+) -> ProbabilityEstimate:
+    """Adaptive counterpart of :func:`engine_success_counts` (success =
+    accepted on members, rejected on non-members), on the same reference
+    seeding ``TapeFactory(seed * 1_000_003 + trial, salt=f"{name}/{index}")``.
+    """
+    compiled = compile_decision(decider, configuration)
+    constant = deterministic_accept_value(compiled)
+    if constant is not None:
+        return ProbabilityEstimate.exact(
+            constant if member else not constant, confidence=target.confidence
+        )
+    stream = AcceptStream(
+        compiled,
+        seed=seed * 1_000_003,
+        mode=mode,
+        trial_seed=lambda trial: seed * 1_000_003 + trial,
+        salt=f"{decider.name}/{index}",
+    )
+
+    def draw(count: int) -> int:
+        accepted = int(np.count_nonzero(stream.sample(count)))
+        return accepted if member else count - accepted
+
+    return sequential_estimate(target, draw)
 
 
 def engine_success_counts(

@@ -76,6 +76,7 @@ from repro.engine.compiler import (
 from repro.engine.executor import _resolve_max_bytes
 from repro.local.ball import collect_ball
 from repro.local.randomness import derive_seed
+from repro.stats import PrecisionTarget, ProbabilityEstimate, sequential_estimate
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.decision import Decider
@@ -108,6 +109,9 @@ __all__ = [
     "batched_success_counts",
     "batched_acceptance_and_membership",
     "batched_far_acceptance",
+    "ConstructionStream",
+    "adaptive_success_estimate",
+    "adaptive_far_acceptance",
 ]
 
 #: Hard cap on the size of a compiled construction's output alphabet (guards
@@ -486,58 +490,21 @@ def construction_matrix(
     ``fast`` mode: per-node generators derived from ``(seed, salt, node
     identity)``, fully vectorized; chunk-invariant in both ``trials`` and
     ``max_bytes`` because each node's generator is consumed sequentially.
+
+    This is the one-shot form of :class:`ConstructionStream` (a single
+    ``sample(trials)`` on a fresh stream), so the fixed-trial and adaptive
+    paths cannot drift apart: there is exactly one sampling implementation.
     """
     if trials < 1:
         raise ValueError("trials must be positive")
-    if mode not in ("fast", "exact"):
-        raise ValueError(f"unknown engine mode {mode!r}; expected 'fast' or 'exact'")
-    if salt is None:
-        salt = compiled.constructor_name
-    if trial_seed is None:
-        trial_seed = lambda trial: seed + trial  # noqa: E731 - the legacy convention
-    max_bytes = _resolve_max_bytes(max_bytes)
-
-    codes = np.broadcast_to(compiled.constant_codes, (trials, compiled.n_nodes)).copy()
-    random_positions = compiled.random_index
-    if len(random_positions) == 0:
-        return codes
-
-    if mode == "exact":
-        programs = [compiled.program_of(position) for position in random_positions]
-        for trial in range(trials):
-            master = int(trial_seed(trial))
-            for position, program in zip(random_positions, programs):
-                tape_seed = derive_seed(
-                    master, salt, int(compiled.identities[position])
-                )
-                codes[trial, position] = program.sample_exact(
-                    np.random.default_rng(tape_seed)
-                )
-        return codes
-
-    # Fast mode: one generator per node, trial-sliced under the working-set
-    # bound.  Each generator is consumed sequentially across slices, so the
-    # stream equals the unsliced generation exactly (chunk invariance).
-    generators = [
-        np.random.default_rng(
-            derive_seed(
-                int(seed),
-                "construct-fast",
-                salt,
-                compiled.constructor_name,
-                int(compiled.identities[position]),
-            )
-        )
-        for position in random_positions
-    ]
-    trial_block = max(1, max_bytes // (8 * max(len(random_positions), 1)))
-    for start in range(0, trials, trial_block):
-        stop = min(trials, start + trial_block)
-        for position, generator in zip(random_positions, generators):
-            codes[start:stop, position] = compiled.program_of(position).sample_fast(
-                generator, stop - start
-            )
-    return codes
+    return ConstructionStream(
+        compiled,
+        seed=seed,
+        mode=mode,
+        trial_seed=trial_seed,
+        salt=salt,
+        max_bytes=max_bytes,
+    ).sample(trials)
 
 
 # --------------------------------------------------------------------------- #
@@ -688,22 +655,23 @@ class FusedDecision:
     decider_name: str
     compiled: CompiledConstruction
 
-    def vote_matrix_fast(
-        self,
-        codes: np.ndarray,
-        seed: int,
-        salt: object,
-        max_bytes: Optional[int] = None,
-    ) -> np.ndarray:
-        """The ``trials × nodes`` vote matrix from per-node fast generators.
+    def fast_vote_stream(
+        self, seed: int, salt: object, max_bytes: Optional[int] = None
+    ) -> Callable[[np.ndarray], np.ndarray]:
+        """A resumable fast-mode vote sampler over per-node generators.
 
-        One uniform per (trial, node) is drawn regardless of the realized
-        value's constancy — ``u < 1.0`` always holds and ``u < 0.0`` never
-        does, so constants come out right and the stream stays independent
-        of the sampled outputs (chunk-invariant, like the fast executor).
+        The returned callable maps a ``(count, nodes)`` code chunk to its
+        vote chunk; generators persist across calls, so concatenating the
+        votes of successive chunks is bit-identical to one
+        :meth:`vote_matrix_fast` call on the concatenated codes (the
+        chunk-invariance the adaptive estimators rely on).  One uniform per
+        (trial, node) is drawn regardless of the realized value's constancy
+        — ``u < 1.0`` always holds and ``u < 0.0`` never does, so constants
+        come out right and the stream stays independent of the sampled
+        outputs.
         """
         max_bytes = _resolve_max_bytes(max_bytes)
-        trials, n = codes.shape
+        n = self.compiled.n_nodes
         rows = np.arange(n)
         generators = [
             np.random.default_rng(
@@ -717,22 +685,38 @@ class FusedDecision:
             )
             for position in range(n)
         ]
-        votes = np.empty((trials, n), dtype=bool)
-        trial_block = max(1, max_bytes // (8 * max(n, 1)))
-        for start in range(0, trials, trial_block):
-            stop = min(trials, start + trial_block)
-            uniforms = np.empty((stop - start, n), dtype=np.float64)
-            for position, generator in enumerate(generators):
-                uniforms[:, position] = generator.random(stop - start)
-            chunk = codes[start:stop]
-            thresholds = self.thresholds[rows[None, :], chunk]
-            takes_true = uniforms < thresholds
-            votes[start:stop] = np.where(
-                takes_true,
-                self.on_true[rows[None, :], chunk],
-                self.on_false[rows[None, :], chunk],
-            )
-        return votes
+
+        def sample(codes: np.ndarray) -> np.ndarray:
+            trials = codes.shape[0]
+            votes = np.empty((trials, n), dtype=bool)
+            trial_block = max(1, max_bytes // (8 * max(n, 1)))
+            for start in range(0, trials, trial_block):
+                stop = min(trials, start + trial_block)
+                uniforms = np.empty((stop - start, n), dtype=np.float64)
+                for position, generator in enumerate(generators):
+                    uniforms[:, position] = generator.random(stop - start)
+                chunk = codes[start:stop]
+                thresholds = self.thresholds[rows[None, :], chunk]
+                takes_true = uniforms < thresholds
+                votes[start:stop] = np.where(
+                    takes_true,
+                    self.on_true[rows[None, :], chunk],
+                    self.on_false[rows[None, :], chunk],
+                )
+            return votes
+
+        return sample
+
+    def vote_matrix_fast(
+        self,
+        codes: np.ndarray,
+        seed: int,
+        salt: object,
+        max_bytes: Optional[int] = None,
+    ) -> np.ndarray:
+        """The ``trials × nodes`` vote matrix from per-node fast generators
+        (one-shot form of :meth:`fast_vote_stream`)."""
+        return self.fast_vote_stream(seed, salt, max_bytes=max_bytes)(codes)
 
     def vote_row_exact(
         self, code_row: np.ndarray, master_seed: int, salt: object
@@ -916,6 +900,187 @@ def batched_acceptance_and_membership(
         float(np.count_nonzero(accepted)) / trials,
         float(np.count_nonzero(members)) / trials,
     )
+
+
+class ConstructionStream:
+    """A resumable trial stream over a compiled construction.
+
+    ``sample(count)`` returns the ``(count, nodes)`` code matrix of the
+    **next** ``count`` trials; the concatenation of successive samples is
+    bit-identical to one :func:`construction_matrix` call with the total
+    trial count (exact mode derives each trial from its own master seed;
+    fast mode holds every node's generator open across batches).  This is
+    the construction-side counterpart of
+    :class:`repro.engine.executor.AcceptStream`.
+    """
+
+    def __init__(
+        self,
+        compiled: CompiledConstruction,
+        seed: int = 0,
+        mode: str = "fast",
+        trial_seed: Optional[Callable[[int], int]] = None,
+        salt: Optional[object] = None,
+        max_bytes: Optional[int] = None,
+    ) -> None:
+        if mode not in ("fast", "exact"):
+            raise ValueError(f"unknown engine mode {mode!r}; expected 'fast' or 'exact'")
+        self.compiled = compiled
+        self.mode = mode
+        self._salt = compiled.constructor_name if salt is None else salt
+        if trial_seed is None:
+            trial_seed = lambda trial: seed + trial  # noqa: E731 - the legacy convention
+        self._trial_seed = trial_seed
+        self._max_bytes = _resolve_max_bytes(max_bytes)
+        self._offset = 0
+        self._generators: List[np.random.Generator] = []
+        if mode == "fast":
+            self._generators = [
+                np.random.default_rng(
+                    derive_seed(
+                        int(seed),
+                        "construct-fast",
+                        self._salt,
+                        compiled.constructor_name,
+                        int(compiled.identities[position]),
+                    )
+                )
+                for position in compiled.random_index
+            ]
+
+    @property
+    def trials_sampled(self) -> int:
+        return self._offset
+
+    def sample(self, count: int) -> np.ndarray:
+        if count < 1:
+            raise ValueError("count must be positive")
+        compiled = self.compiled
+        start = self._offset
+        self._offset += count
+        codes = np.broadcast_to(compiled.constant_codes, (count, compiled.n_nodes)).copy()
+        random_positions = compiled.random_index
+        if len(random_positions) == 0:
+            return codes
+        if self.mode == "exact":
+            programs = [compiled.program_of(position) for position in random_positions]
+            for trial in range(count):
+                master = int(self._trial_seed(start + trial))
+                for position, program in zip(random_positions, programs):
+                    tape_seed = derive_seed(
+                        master, self._salt, int(compiled.identities[position])
+                    )
+                    codes[trial, position] = program.sample_exact(
+                        np.random.default_rng(tape_seed)
+                    )
+            return codes
+        trial_block = max(1, self._max_bytes // (8 * max(len(random_positions), 1)))
+        for lo in range(0, count, trial_block):
+            hi = min(count, lo + trial_block)
+            for position, generator in zip(random_positions, self._generators):
+                codes[lo:hi, position] = compiled.program_of(position).sample_fast(
+                    generator, hi - lo
+                )
+        return codes
+
+
+def adaptive_success_estimate(
+    constructor: object,
+    language: "DistributedLanguage",
+    network: "Network",
+    target: PrecisionTarget,
+    seed_base: int,
+    salt: object,
+    mode: str,
+    max_bytes: Optional[int] = None,
+) -> ProbabilityEstimate:
+    """Adaptive counterpart of :func:`batched_success_counts`: construct in
+    chunks, test membership per chunk, stop once ``target`` is met.
+
+    Same seeding (``TapeFactory(seed_base + trial, salt)`` in exact mode),
+    chunk-invariant streams — stopping after ``k`` trials reports exactly
+    the fixed ``k``-trial success rate.  Constructions with no random
+    outputs are deterministic and return an exact degenerate estimate.
+    """
+    compiled = compile_construction(constructor, network)
+    stream = ConstructionStream(
+        compiled,
+        seed=seed_base,
+        mode=mode,
+        trial_seed=lambda trial: seed_base + trial,
+        salt=salt,
+        max_bytes=max_bytes,
+    )
+    if len(compiled.random_index) == 0:
+        member = bool(_member_vector(language, compiled, stream.sample(1))[0])
+        return ProbabilityEstimate.exact(member, confidence=target.confidence)
+    return sequential_estimate(
+        target,
+        lambda count: int(
+            np.count_nonzero(_member_vector(language, compiled, stream.sample(count)))
+        ),
+    )
+
+
+def adaptive_far_acceptance(
+    constructor: object,
+    decider: "Decider",
+    network: "Network",
+    node: Hashable,
+    distance: int,
+    target: PrecisionTarget,
+    seed_base: int,
+    construct_salt: object,
+    decide_salt: object,
+    mode: str,
+    max_bytes: Optional[int] = None,
+) -> Optional[ProbabilityEstimate]:
+    """Adaptive counterpart of :func:`batched_far_acceptance` for a single
+    anchor: fused construct→decide chunks until ``target`` is met.
+
+    Returns ``None`` when decider fusion is unavailable (callers fall back
+    to the per-trial reference loop, which handles every decider).  The
+    seeding and streams match the batched path bit for bit, so stopping
+    after ``k`` trials reports the fixed ``k``-trial estimate.
+    """
+    compiled = compile_construction(constructor, network)
+    fused = compile_fused_decision(decider, compiled)
+    if fused is None:
+        return None
+    distances = network.distances_from(node)
+    far = np.array(
+        [distances.get(other, np.inf) > distance for other in compiled.nodes],
+        dtype=bool,
+    )
+    stream = ConstructionStream(
+        compiled,
+        seed=seed_base,
+        mode=mode,
+        trial_seed=lambda trial: seed_base + trial,
+        salt=construct_salt,
+        max_bytes=max_bytes,
+    )
+    fast_votes = (
+        fused.fast_vote_stream(seed_base, decide_salt, max_bytes=max_bytes)
+        if mode == "fast"
+        else None
+    )
+
+    def draw(count: int) -> int:
+        start = stream.trials_sampled
+        codes = stream.sample(count)
+        if fast_votes is not None:
+            votes = fast_votes(codes)
+        else:
+            votes = np.empty((count, compiled.n_nodes), dtype=bool)
+            for trial in range(count):
+                votes[trial] = fused.vote_row_exact(
+                    codes[trial], seed_base + start + trial, decide_salt
+                )
+        accepted_far = votes[:, far].all(axis=1) if far.any() else np.ones(count, bool)
+        return int(np.count_nonzero(accepted_far))
+
+    return sequential_estimate(target, draw)
 
 
 def batched_far_acceptance(

@@ -45,12 +45,13 @@ values that could not affect the conjunction).
 from __future__ import annotations
 
 import os
-from typing import Callable, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from repro.engine.compiler import ACCEPT, CompiledDecision, VoteProgram
 from repro.local.randomness import derive_seed
+from repro.stats import PrecisionTarget, ProbabilityEstimate, sequential_estimate
 
 __all__ = [
     "DEFAULT_MAX_BYTES",
@@ -58,6 +59,9 @@ __all__ = [
     "vote_matrix",
     "acceptance_probability",
     "exact_single_trial_votes",
+    "deterministic_accept_value",
+    "AcceptStream",
+    "adaptive_acceptance",
 ]
 
 _MODES = ("fast", "exact")
@@ -351,6 +355,139 @@ def acceptance_probability(
         max_bytes=max_bytes,
     )
     return float(np.count_nonzero(accepted)) / trials
+
+
+def deterministic_accept_value(compiled: CompiledDecision) -> Optional[bool]:
+    """The global accept value when it is structurally determined.
+
+    ``False`` when some node's program is constantly rejecting, ``True``
+    when every program is constantly accepting, ``None`` when acceptance
+    genuinely depends on draws.  The adaptive estimators use this to report
+    exact degenerate estimates instead of sampling a constant.
+    """
+    if compiled.always_rejects:
+        return False
+    if len(compiled.random_index) == 0:
+        return True
+    return None
+
+
+class AcceptStream:
+    """A resumable per-trial acceptance stream over a compiled decision.
+
+    ``sample(count)`` returns the accept vector of the **next** ``count``
+    trials; the concatenation of successive samples is bit-identical to one
+    :func:`accept_vector` call with the total trial count, in both modes:
+
+    * exact mode derives every trial from its own master seed
+      (``trial_seed(t)``), so a batch starting at offset ``o`` simply walks
+      trials ``o .. o+count-1``;
+    * fast mode holds every coin-flipping node's generator open across
+      batches — each node's uniforms arrive in ``(trial, draw)`` order
+      regardless of batching, exactly the chunk-invariance the fixed-trial
+      path already guarantees for ``max_bytes`` slicing.
+
+    This is what lets a sequential-stopping rule decide *after* a chunk
+    whether to continue, without perturbing a single sampled value.
+    """
+
+    def __init__(
+        self,
+        compiled: CompiledDecision,
+        seed: int = 0,
+        mode: str = "fast",
+        trial_seed: Optional[Callable[[int], int]] = None,
+        salt: Optional[object] = None,
+        max_bytes: Optional[int] = None,
+    ) -> None:
+        self.compiled = compiled
+        self.mode = mode
+        self._salt, self._trial_seed = _resolve(compiled, mode, seed, trial_seed, salt)
+        self._max_bytes = _resolve_max_bytes(max_bytes)
+        self._offset = 0
+        self._constant = deterministic_accept_value(compiled)
+        self._groups: List[Tuple[VoteProgram, List[int]]] = []
+        self._generators: Dict[int, np.random.Generator] = {}
+        if self._constant is None and mode == "fast":
+            by_program: "Dict[int, List[int]]" = {}
+            for position in compiled.random_index:
+                by_program.setdefault(
+                    int(compiled.program_ids[position]), []
+                ).append(int(position))
+            self._groups = [
+                (compiled.programs[program_id], group)
+                for program_id, group in by_program.items()
+            ]
+            self._generators = {
+                position: _fast_node_generator(compiled, position, seed, self._salt)
+                for _, group in self._groups
+                for position in group
+            }
+
+    @property
+    def trials_sampled(self) -> int:
+        return self._offset
+
+    def sample(self, count: int) -> np.ndarray:
+        """The accept vector of the next ``count`` trials."""
+        if count < 1:
+            raise ValueError("count must be positive")
+        start = self._offset
+        self._offset += count
+        if self._constant is not None:
+            return np.full(count, self._constant, dtype=bool)
+        if self.mode == "exact":
+            return _exact_accepts(
+                self.compiled,
+                count,
+                lambda trial: self._trial_seed(start + trial),
+                self._salt,
+            )
+        accepted = np.ones(count, dtype=bool)
+        for program, positions in self._groups:
+            draws = max(program.max_draws, 1)
+            votes = np.empty((count, len(positions)), dtype=bool)
+            trial_block = max(1, self._max_bytes // (8 * len(positions) * draws))
+            for lo in range(0, count, trial_block):
+                hi = min(count, lo + trial_block)
+                uniforms = np.empty((hi - lo, len(positions), draws), dtype=np.float64)
+                for column, position in enumerate(positions):
+                    uniforms[:, column, :] = self._generators[position].random(
+                        (hi - lo, draws)
+                    )
+                votes[lo:hi] = _evaluate_program_block(program, uniforms)
+            # No cross-group short-circuit: every node's generator must
+            # advance exactly ``count`` trials per batch, or the next batch
+            # would read a shifted stream and break chunk invariance.
+            accepted &= votes.all(axis=1)
+        return accepted
+
+
+def adaptive_acceptance(
+    compiled: CompiledDecision,
+    target: PrecisionTarget,
+    seed: int = 0,
+    mode: str = "fast",
+    trial_seed: Optional[Callable[[int], int]] = None,
+    salt: Optional[object] = None,
+    max_bytes: Optional[int] = None,
+) -> ProbabilityEstimate:
+    """Estimate Pr[all accept] until ``target`` is met (sequential stopping).
+
+    The trial stream is the same chunk-invariant stream the fixed-trial
+    :func:`acceptance_probability` consumes, so stopping after ``k`` trials
+    reports exactly the ``k``-trial fixed estimate.  Structurally constant
+    decisions return the exact degenerate estimate without sampling.
+    """
+    constant = deterministic_accept_value(compiled)
+    if constant is not None:
+        return ProbabilityEstimate.exact(constant, confidence=target.confidence)
+    stream = AcceptStream(
+        compiled, seed=seed, mode=mode, trial_seed=trial_seed, salt=salt, max_bytes=max_bytes
+    )
+    return sequential_estimate(
+        target, lambda count: int(np.count_nonzero(stream.sample(count)))
+    )
 
 
 def exact_single_trial_votes(

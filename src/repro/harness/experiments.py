@@ -67,6 +67,7 @@ from repro.harness.results import ExperimentResult
 from repro.local.algorithm import FunctionBallAlgorithm
 from repro.local.randomness import TapeFactory
 from repro.local.simulator import run_ball_algorithm
+from repro.stats import PrecisionTarget, ProbabilityEstimate, tri_all
 
 __all__ = [
     "experiment_e1_amos_decider",
@@ -149,14 +150,58 @@ def _cycle_coloring_with_monochromatic_run(n: int, run_length: int) -> Configura
 # --------------------------------------------------------------------------- #
 # E1 — the amos golden-ratio decider
 # --------------------------------------------------------------------------- #
+def _precision_target(precision: float, confidence: float, trials: int):
+    """The experiment-level stopping rule: ``precision`` is the CI
+    half-width target (0 disables adaptive stopping entirely — the fixed
+    trial budget then applies bit-identically to the pre-stats layer), and
+    ``trials`` is demoted from a prescription to a cap."""
+    if precision <= 0.0:
+        return None
+    return PrecisionTarget(
+        half_width=precision,
+        confidence=confidence,
+        min_trials=min(100, trials),
+        max_trials=trials,
+    )
+
+
+def _apply_ci_verdict(result: ExperimentResult, verdicts: Sequence[Optional[bool]]) -> None:
+    """Fold per-row tri-state verdicts into the result: any refuted criterion
+    fails; otherwise any CI straddling its threshold leaves the experiment
+    UNRESOLVED (ask for a tighter ``precision``) instead of flapping."""
+    combined = tri_all(verdicts)
+    result.matches_paper = combined
+    result.unresolved = combined is None
+
+
+def _record_estimate(
+    result: ExperimentResult, estimate: ProbabilityEstimate
+) -> ProbabilityEstimate:
+    """Accumulate an adaptive estimate's provenance on the result record:
+    total trials consumed and the binding (widest) interval."""
+    result.trials_used = (result.trials_used or 0) + estimate.trials
+    if result.ci_low is None or estimate.half_width > (result.ci_high - result.ci_low) / 2.0:
+        result.ci_low, result.ci_high = estimate.ci_low, estimate.ci_high
+    return estimate
+
+
 def experiment_e1_amos_decider(
     sizes: Sequence[int] = (12, 40),
     selected_counts: Sequence[int] = (0, 1, 2, 3),
     trials: int = 3_000,
     seed: int = 0,
     engine: str = "auto",
+    precision: float = 0.0,
+    confidence: float = 0.99,
 ) -> ExperimentResult:
-    """E1: the zero-round randomized decider for amos has guarantee ≈ 0.618."""
+    """E1: the zero-round randomized decider for amos has guarantee ≈ 0.618.
+
+    With ``precision > 0`` every acceptance probability is estimated under
+    the :class:`~repro.stats.PrecisionTarget` sequential-stopping rule
+    (half-width ``precision`` at ``confidence``, ``trials`` as the cap) and
+    the per-row criteria become CI-aware: a row whose interval straddles its
+    threshold leaves the experiment UNRESOLVED instead of flapping.
+    """
     result = ExperimentResult(
         experiment_id="E1",
         title="amos decided in 0 rounds with guarantee p = (√5−1)/2",
@@ -170,17 +215,55 @@ def experiment_e1_amos_decider(
             "selected_counts": list(selected_counts),
             "trials": trials,
             "engine": engine,
+            "precision": precision,
+            "confidence": confidence,
         },
     )
     p = golden_ratio_guarantee()
     decider = AmosDecider()
+    target = _precision_target(precision, confidence, trials)
     ok = True
+    verdicts: List[Optional[bool]] = []
     for kind, factory in (("cycle", cycle_network), ("path", path_network)):
         for n in sizes:
             network = factory(n)
             for selected in selected_counts:
                 configuration = _amos_configuration(network, selected)
                 member = Amos().contains(configuration)
+                if target is not None:
+                    estimate = _record_estimate(
+                        result,
+                        decider.acceptance_estimate(
+                            configuration,
+                            trials=trials,
+                            seed=seed,
+                            engine=engine,
+                            precision=target,
+                        ),
+                    )
+                    acceptance = estimate.estimate
+                    if selected == 0:
+                        expected = 1.0
+                        criterion: Optional[bool] = acceptance == 1.0
+                    elif selected == 1:
+                        expected = p
+                        criterion = estimate.interval.tri_between(p - 0.05, p + 0.05)
+                    else:
+                        expected = p**selected
+                        criterion = estimate.interval.tri_at_most(1.0 - p + 0.05)
+                    verdicts.append(criterion)
+                    result.add_row(
+                        graph=f"{kind}-{n}",
+                        selected=selected,
+                        member=member,
+                        acceptance=acceptance,
+                        expected_acceptance=expected,
+                        within_guarantee=criterion,
+                        ci_low=estimate.ci_low,
+                        ci_high=estimate.ci_high,
+                        trials_used=estimate.trials,
+                    )
+                    continue
                 acceptance = decider.acceptance_probability(
                     configuration, trials=trials, seed=seed, engine=engine
                 )
@@ -199,7 +282,10 @@ def experiment_e1_amos_decider(
                     expected_acceptance=expected,
                     within_guarantee=criterion,
                 )
-    result.matches_paper = ok
+    if target is not None:
+        _apply_ci_verdict(result, verdicts)
+    else:
+        result.matches_paper = ok
     result.notes = (
         "acceptance on k≥2 selected nodes is p^k exactly (independent coins), "
         "always below 1 − p as required"
@@ -482,9 +568,16 @@ def experiment_e5_resilient_decider(
     trials: int = 2_000,
     seed: int = 0,
     engine: str = "auto",
+    precision: float = 0.0,
+    confidence: float = 0.99,
 ) -> ExperimentResult:
     """E5: the resilient decider accepts ≤ f bad balls w.p. > 1/2 and rejects
-    ≥ f+1 bad balls w.p. > 1/2, matching p^{|F(G)|} exactly."""
+    ≥ f+1 bad balls w.p. > 1/2, matching p^{|F(G)|} exactly.
+
+    With ``precision > 0`` the acceptance probabilities run under the
+    sequential-stopping rule (see E1) and the ±0.05 closed-form check and
+    the > 1/2 success check become CI-aware tri-state verdicts.
+    """
     result = ExperimentResult(
         experiment_id="E5",
         title="the f-resilient relaxation is in BPLD (Corollary 1 decider)",
@@ -493,10 +586,19 @@ def experiment_e5_resilient_decider(
             "accepted w.p. p^{|F|} ≥ p^f > 1/2 and no-instances rejected w.p. "
             "1 − p^{|F|} ≥ 1 − p^{f+1} > 1/2"
         ),
-        parameters={"f_values": list(f_values), "n": n, "trials": trials, "engine": engine},
+        parameters={
+            "f_values": list(f_values),
+            "n": n,
+            "trials": trials,
+            "engine": engine,
+            "precision": precision,
+            "confidence": confidence,
+        },
     )
     base = ProperColoring(3)
+    target = _precision_target(precision, confidence, trials)
     ok = True
+    verdicts: List[Optional[bool]] = []
     for f in f_values:
         decider = ResilientDecider(base, f=f)
         relaxed = f_resilient(base, f)
@@ -504,10 +606,47 @@ def experiment_e5_resilient_decider(
             configuration = _cycle_coloring_with_bad_balls(n, bad_balls)
             actual_bad = base.violation_count(configuration)
             member = relaxed.contains(configuration)
+            theoretical = decider.theoretical_acceptance(actual_bad)
+            if target is not None:
+                estimate = _record_estimate(
+                    result,
+                    decider.acceptance_estimate(
+                        configuration,
+                        trials=trials,
+                        seed=seed,
+                        engine=engine,
+                        precision=target,
+                    ),
+                )
+                acceptance = estimate.estimate
+                success = acceptance if member else 1 - acceptance
+                closed_form = estimate.interval.tri_between(
+                    theoretical - 0.05, theoretical + 0.05
+                )
+                majority_side = (
+                    estimate.interval.tri_at_least(0.5)
+                    if member
+                    else estimate.interval.tri_at_most(0.5)
+                )
+                row_verdict = tri_all([closed_form, majority_side])
+                verdicts.append(row_verdict)
+                result.add_row(
+                    f=f,
+                    p_bad_ball=decider.p_bad_ball,
+                    bad_balls=actual_bad,
+                    member=member,
+                    acceptance=acceptance,
+                    theoretical_acceptance=theoretical,
+                    success_probability=success,
+                    within_tolerance=row_verdict,
+                    ci_low=estimate.ci_low,
+                    ci_high=estimate.ci_high,
+                    trials_used=estimate.trials,
+                )
+                continue
             acceptance = decider.acceptance_probability(
                 configuration, trials=trials, seed=seed, engine=engine
             )
-            theoretical = decider.theoretical_acceptance(actual_bad)
             success = acceptance if member else 1 - acceptance
             ok = ok and abs(acceptance - theoretical) < 0.05 and success > 0.5
             result.add_row(
@@ -519,7 +658,10 @@ def experiment_e5_resilient_decider(
                 theoretical_acceptance=theoretical,
                 success_probability=success,
             )
-    result.matches_paper = ok
+    if target is not None:
+        _apply_ci_verdict(result, verdicts)
+    else:
+        result.matches_paper = ok
     return result
 
 

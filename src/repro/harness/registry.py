@@ -165,6 +165,26 @@ def _engine_parameter() -> ParameterSpec:
     )
 
 
+def _precision_parameters() -> Tuple[ParameterSpec, ParameterSpec]:
+    """The adaptive-precision contract: a CI half-width target (0 disables
+    sequential stopping; the fixed trial budget then applies unchanged) and
+    the confidence level of the interval/verdicts."""
+    return (
+        ParameterSpec(
+            "precision",
+            "float",
+            0.0,
+            doc="CI half-width target for sequential stopping (0: fixed trials)",
+        ),
+        ParameterSpec(
+            "confidence",
+            "float",
+            0.99,
+            doc="confidence level of the adaptive CIs and CI-aware verdicts",
+        ),
+    )
+
+
 @dataclass(frozen=True)
 class ExperimentSpec:
     """A declarative description of one experiment.
@@ -222,13 +242,22 @@ class ExperimentSpec:
         return "engine" in self.parameter_names
 
     @property
+    def accepts_precision(self) -> bool:
+        """The precision contract: whether the schema declares a
+        ``precision`` half-width target (adaptive sequential stopping)."""
+        return "precision" in self.parameter_names
+
+    @property
     def capabilities(self) -> Tuple[str, ...]:
-        """The capability tags (``seed``, ``engine``) the schema implies."""
+        """The capability tags (``seed``, ``engine``, ``precision``) the
+        schema implies."""
         tags = []
         if self.accepts_seed:
             tags.append("seed")
         if self.accepts_engine:
             tags.append("engine")
+        if self.accepts_precision:
+            tags.append("precision")
         return tuple(tags)
 
     @property
@@ -266,10 +295,13 @@ class ExperimentSpec:
         overrides: Optional[Mapping[str, object]] = None,
         seed: Optional[int] = None,
         engine: Optional[str] = None,
+        precision: Optional[float] = None,
+        confidence: Optional[float] = None,
     ) -> Dict[str, object]:
         """The normalized parameters of one run: preset, then overrides, then
-        the session-level ``seed``/``engine`` (applied only when the schema
-        declares the capability and the caller did not already pin them)."""
+        the session-level ``seed``/``engine``/``precision``/``confidence``
+        (applied only when the schema declares the capability and the caller
+        did not already pin them)."""
         presets = self.presets
         if preset not in presets:
             raise SpecValidationError(
@@ -281,6 +313,10 @@ class ExperimentSpec:
             merged["seed"] = seed
         if engine is not None and self.accepts_engine and "engine" not in merged:
             merged["engine"] = engine
+        if precision is not None and self.accepts_precision and "precision" not in merged:
+            merged["precision"] = precision
+        if confidence is not None and self.accepts_precision and "confidence" not in merged:
+            merged["confidence"] = confidence
         return self.validate(merged)
 
     def cache_key(self, parameters: Mapping[str, object], version: Optional[str] = None) -> str:
@@ -370,6 +406,7 @@ REGISTRY = ExperimentRegistry(
                 ParameterSpec("trials", "int", 3_000),
                 _seed_parameter(),
                 _engine_parameter(),
+                *_precision_parameters(),
             ),
             quick={"sizes": [9], "trials": 400},
         ),
@@ -432,6 +469,7 @@ REGISTRY = ExperimentRegistry(
                 ParameterSpec("trials", "int", 2_000),
                 _seed_parameter(),
                 _engine_parameter(),
+                *_precision_parameters(),
             ),
             quick={"f_values": [1, 2], "n": 24, "trials": 400},
         ),

@@ -23,9 +23,19 @@ def render_experiment(result: ExperimentResult, precision: int = 4) -> str:
         lines.append(f"parameters  : {parameters}")
     if result.rows:
         lines.append(format_table(result.rows, precision=precision))
+    if result.trials_used is not None:
+        ci = ""
+        if result.ci_low is not None and result.ci_high is not None:
+            ci = f", binding CI [{result.ci_low:.4f}, {result.ci_high:.4f}]"
+        lines.append(f"precision   : {result.trials_used} trials used{ci}")
     if result.matches_paper is not None:
         verdict = "MATCHES the paper's claim" if result.matches_paper else "DOES NOT match"
         lines.append(f"verdict     : {verdict}")
+    elif result.unresolved:
+        lines.append(
+            "verdict     : UNRESOLVED — a confidence interval straddles an "
+            "acceptance threshold; rerun with a tighter --precision"
+        )
     if result.notes:
         lines.append(f"notes       : {result.notes}")
     return "\n".join(lines)

@@ -82,7 +82,11 @@ def markdown_for_experiment(result: ExperimentResult) -> str:
             )
         lines.append("")
     if result.matches_paper is None:
-        verdict = "not evaluated"
+        verdict = (
+            "**UNRESOLVED — a confidence interval straddles an acceptance threshold**"
+            if result.unresolved
+            else "not evaluated"
+        )
     elif result.matches_paper:
         verdict = "**measured shape matches the paper's claim**"
     else:
@@ -105,11 +109,12 @@ def render_experiments_markdown(results: Sequence[ExperimentResult]) -> str:
         "|---|---|---|",
     ]
     for result in ordered:
-        verdict = (
-            "matches"
-            if result.matches_paper
-            else ("DOES NOT match" if result.matches_paper is not None else "n/a")
-        )
+        if result.matches_paper:
+            verdict = "matches"
+        elif result.matches_paper is not None:
+            verdict = "DOES NOT match"
+        else:
+            verdict = "UNRESOLVED" if result.unresolved else "n/a"
         summary_lines.append(f"| {result.experiment_id} | {result.title} | {verdict} |")
     summary_lines.append("")
     body = "\n".join(markdown_for_experiment(result) for result in ordered)

@@ -1,0 +1,133 @@
+"""Streaming accumulators for chunked Monte-Carlo estimation.
+
+The chunked executor (:mod:`repro.engine.executor`) and the construction
+engine (:mod:`repro.engine.construct`) stream their trials in batches; these
+accumulators fold each batch into running statistics in O(1) memory so a
+sequential-stopping rule (:mod:`repro.stats.stopping`) can be evaluated
+between batches without retaining the trial vectors.
+
+* :class:`StreamingMoments` — Welford/Chan count/mean/M2 for real-valued
+  observations (numerically stable single-pass mean and variance, with an
+  exact parallel ``merge`` for shard-wise accumulation).
+* :class:`BernoulliAccumulator` — the boolean specialisation the acceptance
+  estimators use: success/trial counts plus the interval of a caller-chosen
+  method.  A Bernoulli mean's M2 is determined by the counts
+  (``M2 = n·p̂·(1−p̂)``), so the two views never disagree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Union
+
+import numpy as np
+
+from repro.stats.intervals import ConfidenceInterval, wilson_interval
+
+__all__ = ["StreamingMoments", "BernoulliAccumulator"]
+
+
+@dataclass
+class StreamingMoments:
+    """Single-pass count / mean / M2 (sum of squared deviations).
+
+    ``update`` is Welford's recurrence; ``update_many`` folds a whole NumPy
+    batch at once using Chan's pairwise-merge formula (exact, not a loop);
+    ``merge`` combines two accumulators as if their streams were
+    concatenated.  Mean and variance match ``numpy.mean`` /
+    ``numpy.var(ddof)`` to floating-point accuracy.
+    """
+
+    count: int = 0
+    mean: float = 0.0
+    m2: float = 0.0
+
+    def update(self, value: float) -> "StreamingMoments":
+        self.count += 1
+        delta = float(value) - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (float(value) - self.mean)
+        return self
+
+    def update_many(self, values: Union[np.ndarray, Iterable[float]]) -> "StreamingMoments":
+        batch = np.asarray(list(values) if not isinstance(values, np.ndarray) else values)
+        batch = batch.astype(np.float64, copy=False).ravel()
+        if batch.size == 0:
+            return self
+        other = StreamingMoments(
+            count=int(batch.size),
+            mean=float(batch.mean()),
+            m2=float(((batch - batch.mean()) ** 2).sum()),
+        )
+        return self.merge(other)
+
+    def merge(self, other: "StreamingMoments") -> "StreamingMoments":
+        """Chan's parallel combination: exact for concatenated streams."""
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.count, self.mean, self.m2 = other.count, other.mean, other.m2
+            return self
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self.mean += delta * other.count / total
+        self.m2 += other.m2 + delta * delta * self.count * other.count / total
+        self.count = total
+        return self
+
+    @property
+    def variance(self) -> float:
+        """Population variance (``ddof=0``); ``nan`` with no data."""
+        if self.count == 0:
+            return float("nan")
+        return self.m2 / self.count
+
+    @property
+    def sample_variance(self) -> float:
+        """Unbiased variance (``ddof=1``); ``nan`` below two observations."""
+        if self.count < 2:
+            return float("nan")
+        return self.m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        return float(np.sqrt(self.variance))
+
+
+@dataclass
+class BernoulliAccumulator:
+    """Success/trial counts of a streamed boolean estimate."""
+
+    successes: int = 0
+    trials: int = 0
+
+    def update(self, successes: int, trials: int) -> "BernoulliAccumulator":
+        if trials < 0 or not 0 <= successes <= trials:
+            raise ValueError(f"invalid batch counts: {successes}/{trials}")
+        self.successes += int(successes)
+        self.trials += int(trials)
+        return self
+
+    def update_vector(self, outcomes: np.ndarray) -> "BernoulliAccumulator":
+        outcomes = np.asarray(outcomes, dtype=bool).ravel()
+        return self.update(int(np.count_nonzero(outcomes)), int(outcomes.size))
+
+    @property
+    def estimate(self) -> float:
+        if self.trials == 0:
+            return float("nan")
+        return self.successes / self.trials
+
+    @property
+    def moments(self) -> StreamingMoments:
+        """The exact :class:`StreamingMoments` view of the boolean stream
+        (``M2 = n·p̂·(1−p̂)`` is an identity for 0/1 observations)."""
+        if self.trials == 0:
+            return StreamingMoments()
+        phat = self.estimate
+        return StreamingMoments(
+            count=self.trials, mean=phat, m2=self.trials * phat * (1.0 - phat)
+        )
+
+    def interval(self, confidence: float = 0.95) -> ConfidenceInterval:
+        return wilson_interval(self.successes, self.trials, confidence=confidence)

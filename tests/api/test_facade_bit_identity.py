@@ -60,3 +60,30 @@ def test_batch_backend_preserves_bit_identity_through_serialization():
     report = Session(cache=None, backend="batch").run("E5", **overrides)
     assert report.result.rows == direct.rows
     assert report.result.matches_paper == direct.matches_paper
+
+
+class TestPrecisionDefaultsPreservePr4Identity:
+    """ISSUE 5 acceptance: with ``precision=None`` (the schema default 0.0)
+    the experiments that grew the precision contract remain bit-identical to
+    their PR-4 behaviour at distant seeds — spelling the new parameters
+    explicitly, omitting them, or injecting them as disabled through the
+    session must all produce the same stochastic rows."""
+
+    @pytest.mark.parametrize("experiment_id", ["E1", "E5"])
+    @pytest.mark.parametrize("seed", [0, 10_000])
+    def test_disabled_precision_is_invisible(self, experiment_id, seed):
+        overrides = dict(TOY_OVERRIDES[experiment_id])
+        overrides["seed"] = seed
+        direct = ALL_EXPERIMENTS[experiment_id](**overrides)
+        spelled = ALL_EXPERIMENTS[experiment_id](
+            **overrides, precision=0.0, confidence=0.99
+        )
+        via_session = Session(cache=None).run(experiment_id, **overrides)
+        assert spelled.rows == direct.rows
+        assert spelled.matches_paper == direct.matches_paper
+        assert via_session.result.rows == direct.rows
+        assert via_session.result.matches_paper == direct.matches_paper
+        # The CI provenance fields stay unset on the fixed-trial path.
+        assert via_session.result.trials_used is None
+        assert via_session.result.ci_low is None and via_session.result.ci_high is None
+        assert via_session.result.unresolved is False

@@ -2,7 +2,27 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+try:  # Hypothesis is a test-only extra; the property suite skips without it.
+    from hypothesis import HealthCheck, settings
+
+    # ``ci`` is the reproducible profile the workflow pins via
+    # $HYPOTHESIS_PROFILE: derandomized (fixed example seed), no deadline
+    # (shared CI runners stall unpredictably), bounded example count.
+    settings.register_profile(
+        "ci",
+        derandomize=True,
+        deadline=None,
+        max_examples=50,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.register_profile("dev", deadline=None)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+except ImportError:  # pragma: no cover - hypothesis not installed
+    pass
 
 from repro.core.languages import Configuration
 from repro.core.lcl import ProperColoring

@@ -1,0 +1,180 @@
+"""Acceptance tests for the adaptive-precision experiment layer.
+
+ISSUE 5 criteria: with ``precision=None`` the experiments are bit-identical
+to their fixed-trial history (covered here and in
+``tests/api/test_facade_bit_identity.py``); with
+``PrecisionTarget(half_width=0.01)`` E1/E5 stop with measurably fewer trials
+than the full preset while the adaptive CIs contain the fixed-trial
+estimates.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.api import Session
+from repro.cli import main
+from repro.harness.experiments import (
+    experiment_e1_amos_decider,
+    experiment_e5_resilient_decider,
+)
+from repro.harness.registry import REGISTRY
+from repro.harness.reporting import render_experiment
+from repro.harness.results import ExperimentResult
+
+
+class TestPrecisionDisabledBitIdentity:
+    """precision=0.0 must leave the stochastic results untouched."""
+
+    @pytest.mark.parametrize("seed", [0, 10_000])
+    def test_e1_rows_unchanged_by_the_new_parameters(self, seed):
+        legacy_shape = experiment_e1_amos_decider(sizes=(9,), trials=200, seed=seed)
+        explicit = experiment_e1_amos_decider(
+            sizes=(9,), trials=200, seed=seed, precision=0.0, confidence=0.99
+        )
+        assert explicit.rows == legacy_shape.rows
+        assert explicit.matches_paper == legacy_shape.matches_paper
+        assert explicit.trials_used is None and explicit.ci_low is None
+
+    @pytest.mark.parametrize("seed", [0, 10_000])
+    def test_e5_rows_unchanged_by_the_new_parameters(self, seed):
+        legacy_shape = experiment_e5_resilient_decider(
+            f_values=(1, 2), n=24, trials=200, seed=seed
+        )
+        explicit = experiment_e5_resilient_decider(
+            f_values=(1, 2), n=24, trials=200, seed=seed, precision=0.0
+        )
+        assert explicit.rows == legacy_shape.rows
+        assert explicit.matches_paper == legacy_shape.matches_paper
+
+
+class TestAdaptiveFullPreset:
+    """The headline workload: 'run E1/E5 to ±0.01 at 99%' under the full
+    preset's trial cap."""
+
+    def test_e1_stops_with_fewer_trials_and_contains_the_fixed_estimates(self):
+        fixed = experiment_e1_amos_decider(seed=0)
+        adaptive = experiment_e1_amos_decider(seed=0, precision=0.01, confidence=0.99)
+        fixed_budget = len(fixed.rows) * 3_000
+        assert adaptive.trials_used is not None
+        assert adaptive.trials_used < fixed_budget
+        assert adaptive.verdict == "pass"
+        assert adaptive.ci_low is not None and adaptive.ci_high is not None
+        for fixed_row, adaptive_row in zip(fixed.rows, adaptive.rows):
+            assert adaptive_row["trials_used"] <= 3_000
+            assert (
+                adaptive_row["ci_low"] - 1e-12
+                <= fixed_row["acceptance"]
+                <= adaptive_row["ci_high"] + 1e-12
+            )
+        # The deterministic rows (no selected node) are detected structurally
+        # and cost one derivation instead of 3000 trials.
+        deterministic = [row for row in adaptive.rows if row["selected"] == 0]
+        assert deterministic and all(row["trials_used"] == 1 for row in deterministic)
+
+    def test_e5_stops_with_fewer_trials_and_contains_the_fixed_estimates(self):
+        fixed = experiment_e5_resilient_decider(seed=0)
+        adaptive = experiment_e5_resilient_decider(seed=0, precision=0.01, confidence=0.99)
+        fixed_budget = len(fixed.rows) * 2_000
+        assert adaptive.trials_used is not None
+        assert adaptive.trials_used < fixed_budget
+        for fixed_row, adaptive_row in zip(fixed.rows, adaptive.rows):
+            assert (
+                adaptive_row["ci_low"] - 1e-12
+                <= fixed_row["acceptance"]
+                <= adaptive_row["ci_high"] + 1e-12
+            )
+        # The f=8 yes-rows sit barely above 1/2 (p^8 ≈ 0.52): at the 2000-
+        # trial cap a 99% CI straddles the threshold, so the honest verdict
+        # is UNRESOLVED — precisely the silent flap the CI-aware verdicts
+        # exist to surface.  It must never read as a hard failure.
+        assert adaptive.verdict in ("pass", "unresolved")
+        assert adaptive.matches_paper is not False
+
+    def test_e5_resolves_cleanly_away_from_the_threshold(self):
+        adaptive = experiment_e5_resilient_decider(
+            f_values=(1, 2), n=24, trials=2_000, seed=0, precision=0.02, confidence=0.95
+        )
+        assert adaptive.verdict == "pass"
+        assert all(row["within_tolerance"] is True for row in adaptive.rows)
+
+
+class TestUnresolvedSurfaces:
+    def test_unresolved_verdict_renders_and_fails_the_cli_gate(self, monkeypatch):
+        def unresolved_runner():
+            result = ExperimentResult(
+                experiment_id="E1", title="stub", paper_claim="stub"
+            )
+            result.add_row(x=1)
+            result.matches_paper = None
+            result.unresolved = True
+            result.trials_used = 123
+            result.ci_low, result.ci_high = 0.48, 0.53
+            return result
+
+        from repro.harness.registry import ExperimentSpec
+
+        monkeypatch.setitem(
+            REGISTRY,
+            "E1",
+            ExperimentSpec(id="E1", title="stub", runner=unresolved_runner, parameters=()),
+        )
+        stream = io.StringIO()
+        assert main(["run", "E1", "--no-cache"], stream=stream) == 1
+        output = stream.getvalue()
+        assert "UNRESOLVED" in output
+        assert "E1(unresolved)" in output
+        assert "123 trials used" in output
+
+    def test_render_includes_precision_provenance(self):
+        result = ExperimentResult(experiment_id="E9", title="t", paper_claim="c")
+        result.trials_used = 777
+        result.ci_low, result.ci_high = 0.1, 0.2
+        rendered = render_experiment(result)
+        assert "777 trials used" in rendered
+        assert "[0.1000, 0.2000]" in rendered
+
+
+class TestSessionAndCliPrecision:
+    def test_session_injects_precision_only_into_capable_specs(self):
+        session = Session(seed=0, cache=None, precision=0.02, confidence=0.95)
+        e1 = session.request("E1", preset="quick").kwargs
+        assert e1["precision"] == 0.02 and e1["confidence"] == 0.95
+        # E2 declares no precision capability: nothing is injected.
+        e2 = session.request("E2", preset="quick").kwargs
+        assert "precision" not in e2
+
+    def test_request_pin_beats_session_precision(self):
+        session = Session(cache=None, precision=0.02)
+        request = session.request("E5", preset="quick", precision=0.1)
+        assert request.kwargs["precision"] == 0.1
+
+    def test_cli_flags_parse_and_reach_the_session(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["run", "E1", "--precision", "0.01", "--confidence", "0.99"]
+        )
+        assert args.precision == 0.01 and args.confidence == 0.99
+        defaults = build_parser().parse_args(["run", "E1"])
+        assert defaults.precision is None and defaults.confidence is None
+
+    def test_registry_declares_the_precision_capability(self):
+        assert REGISTRY["E1"].accepts_precision and REGISTRY["E5"].accepts_precision
+        assert "precision" in REGISTRY["E1"].capabilities
+        for experiment_id in ("E2", "E3", "E4", "E6", "E7", "E8", "E9", "E10"):
+            assert not REGISTRY[experiment_id].accepts_precision
+
+    def test_precision_changes_the_canonical_cache_key(self):
+        spec = REGISTRY["E5"]
+        assert spec.cache_key({}) != spec.cache_key({"precision": 0.01})
+
+    def test_quick_adaptive_run_through_the_session(self):
+        report = Session(seed=0, cache=None, precision=0.05, confidence=0.95).run(
+            "E5", preset="quick"
+        )
+        assert report.result.trials_used is not None
+        assert report.result.trials_used <= len(report.result.rows) * 400
+        assert report.result.verdict in ("pass", "unresolved")

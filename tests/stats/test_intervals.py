@@ -1,0 +1,191 @@
+"""Tests for repro.stats: intervals, quantiles, and accumulators."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.stats import (
+    BernoulliAccumulator,
+    ConfidenceInterval,
+    StreamingMoments,
+    hoeffding_interval,
+    normal_quantile,
+    tri_all,
+    wilson_half_width,
+    wilson_interval,
+)
+
+
+class TestNormalQuantile:
+    def test_standard_critical_values(self):
+        assert normal_quantile(0.95) == pytest.approx(1.959964, abs=1e-5)
+        assert normal_quantile(0.99) == pytest.approx(2.575829, abs=1e-5)
+        assert normal_quantile(0.90) == pytest.approx(1.644854, abs=1e-5)
+
+    def test_monotone_in_confidence(self):
+        quantiles = [normal_quantile(c) for c in (0.5, 0.8, 0.9, 0.95, 0.99, 0.999)]
+        assert quantiles == sorted(quantiles)
+
+    def test_roundtrip_through_the_cdf(self):
+        for confidence in (0.6, 0.9, 0.95, 0.99, 0.9973):
+            z = normal_quantile(confidence)
+            recovered = 2.0 * (0.5 * math.erfc(-z / math.sqrt(2.0))) - 1.0
+            assert recovered == pytest.approx(confidence, abs=1e-12)
+
+    def test_domain_validated(self):
+        for bad in (0.0, 1.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                normal_quantile(bad)
+
+    def test_ppf_tails_are_symmetric(self):
+        from repro.stats.intervals import _norm_ppf
+
+        for p in (0.001, 0.01, 0.3, 0.5, 0.97, 0.999):
+            assert _norm_ppf(p) == pytest.approx(-_norm_ppf(1.0 - p), abs=1e-9)
+        assert _norm_ppf(0.5) == pytest.approx(0.0, abs=1e-12)
+        with pytest.raises(ValueError):
+            _norm_ppf(0.0)
+
+
+class TestWilson:
+    def test_matches_the_legacy_helper_formula(self):
+        """wilson_half_width replaced two duplicated private helpers; it must
+        agree with their exact z=1.96 formula."""
+
+        def legacy(successes, trials, z=1.96):
+            phat = successes / trials
+            denom = 1.0 + z * z / trials
+            center = (phat + z * z / (2 * trials)) / denom
+            spread = (
+                z
+                * math.sqrt(phat * (1 - phat) / trials + z * z / (4 * trials * trials))
+                / denom
+            )
+            return (min(1.0, center + spread) - max(0.0, center - spread)) / 2.0
+
+        for successes, trials in [(0, 50), (1, 50), (25, 50), (50, 50), (399, 400)]:
+            assert wilson_half_width(successes, trials) == pytest.approx(
+                legacy(successes, trials), abs=1e-12
+            )
+        assert math.isnan(wilson_half_width(0, 0))
+
+    def test_interval_contains_the_point_estimate(self):
+        for successes, trials in [(0, 10), (3, 10), (10, 10), (777, 1000)]:
+            interval = wilson_interval(successes, trials, 0.99)
+            assert interval.contains(successes / trials)
+
+    def test_narrows_with_more_trials(self):
+        widths = [wilson_interval(n // 2, n, 0.95).half_width for n in (10, 100, 1000, 10000)]
+        assert widths == sorted(widths, reverse=True)
+
+    def test_stays_inside_the_unit_interval(self):
+        assert wilson_interval(0, 5, 0.999).low == 0.0
+        assert wilson_interval(5, 5, 0.999).high == 1.0
+
+    def test_counts_validated(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(6, 5)
+
+
+class TestHoeffding:
+    def test_closed_form(self):
+        interval = hoeffding_interval(60, 100, confidence=0.95)
+        spread = math.sqrt(math.log(2.0 / 0.05) / 200.0)
+        assert interval.low == pytest.approx(max(0.0, 0.6 - spread))
+        assert interval.high == pytest.approx(min(1.0, 0.6 + spread))
+
+    def test_wider_than_wilson_midrange(self):
+        """Hoeffding is distribution-free and must dominate Wilson away from
+        the boundary."""
+        assert (
+            hoeffding_interval(500, 1000, 0.95).half_width
+            > wilson_interval(500, 1000, 0.95).half_width
+        )
+
+
+class TestTriState:
+    def test_interval_settles_or_straddles(self):
+        interval = ConfidenceInterval(0.40, 0.45, 0.95)
+        assert interval.tri_at_most(0.5) is True
+        assert interval.tri_at_least(0.5) is False
+        assert interval.tri_between(0.35, 0.5) is True
+        straddling = ConfidenceInterval(0.48, 0.53, 0.95)
+        assert straddling.tri_at_most(0.5) is None
+        assert straddling.tri_at_least(0.5) is None
+        assert straddling.tri_between(0.49, 0.6) is None
+        assert straddling.tri_between(0.6, 0.7) is False
+
+    def test_tri_all_semantics(self):
+        assert tri_all([True, True]) is True
+        assert tri_all([True, None]) is None
+        assert tri_all([None, False]) is False  # a refutation dominates
+        assert tri_all([]) is True
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            ConfidenceInterval(0.6, 0.4, 0.95)
+
+
+class TestStreamingMoments:
+    def test_matches_numpy_on_scalar_updates(self):
+        rng = np.random.default_rng(7)
+        values = rng.normal(2.0, 3.0, size=500)
+        moments = StreamingMoments()
+        for value in values:
+            moments.update(value)
+        assert moments.count == 500
+        assert moments.mean == pytest.approx(values.mean(), abs=1e-10)
+        assert moments.variance == pytest.approx(values.var(), abs=1e-8)
+        assert moments.sample_variance == pytest.approx(values.var(ddof=1), abs=1e-8)
+
+    def test_update_many_equals_concatenation(self):
+        rng = np.random.default_rng(8)
+        values = rng.exponential(size=1000)
+        chunked = StreamingMoments()
+        for start in range(0, 1000, 137):
+            chunked.update_many(values[start : start + 137])
+        assert chunked.count == 1000
+        assert chunked.mean == pytest.approx(values.mean(), abs=1e-12)
+        assert chunked.variance == pytest.approx(values.var(), abs=1e-10)
+
+    def test_merge_is_concatenation(self):
+        rng = np.random.default_rng(9)
+        a, b = rng.normal(size=300), rng.normal(loc=5, size=200)
+        left = StreamingMoments().update_many(a)
+        right = StreamingMoments().update_many(b)
+        left.merge(right)
+        joined = np.concatenate([a, b])
+        assert left.count == 500
+        assert left.mean == pytest.approx(joined.mean(), abs=1e-12)
+        assert left.variance == pytest.approx(joined.var(), abs=1e-10)
+
+    def test_empty_states(self):
+        moments = StreamingMoments()
+        assert math.isnan(moments.variance)
+        assert math.isnan(StreamingMoments(count=1, mean=2.0).sample_variance)
+        assert StreamingMoments().merge(StreamingMoments()).count == 0
+
+
+class TestBernoulliAccumulator:
+    def test_counts_and_moments_view(self):
+        accumulator = BernoulliAccumulator()
+        accumulator.update(3, 10).update_vector(np.array([True, False, True]))
+        assert (accumulator.successes, accumulator.trials) == (5, 13)
+        moments = accumulator.moments
+        assert moments.count == 13
+        assert moments.mean == pytest.approx(5 / 13)
+        assert moments.m2 == pytest.approx(13 * (5 / 13) * (8 / 13))
+
+    def test_interval_and_validation(self):
+        accumulator = BernoulliAccumulator(successes=60, trials=100)
+        assert accumulator.interval(0.95).half_width == pytest.approx(
+            wilson_interval(60, 100, 0.95).half_width
+        )
+        with pytest.raises(ValueError):
+            accumulator.update(5, 3)
+        assert math.isnan(BernoulliAccumulator().estimate)
