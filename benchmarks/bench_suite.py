@@ -34,8 +34,12 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import datetime
 import json
+import platform
+import socket
 import statistics
+import subprocess
 import sys
 import time
 from dataclasses import dataclass, field
@@ -53,9 +57,11 @@ except ImportError:  # pragma: no cover
 
 from repro.api import Session  # noqa: E402
 from repro.harness.registry import REGISTRY  # noqa: E402
+from repro.obs import TraceRecorder, summarize  # noqa: E402
 
 DEFAULT_OUTPUT = BENCH_DIR / "BENCH.json"
 DEFAULT_BASELINE = BENCH_DIR / "baseline.json"
+DEFAULT_PROFILE_DIR = BENCH_DIR / "profiles"
 
 
 #: The one session every workload runs through: the same facade external
@@ -225,18 +231,98 @@ def check_registry_covers_directory() -> List[str]:
     return problems
 
 
+def suite_metadata() -> Dict[str, object]:
+    """Provenance of one suite run: when, on what, with which toolchain.
+
+    Recorded into BENCH.json so a committed artifact (or a CI download) can
+    be traced back to the commit and environment that produced it.  Every
+    field degrades to ``None`` rather than failing — benches must run from
+    tarballs and dirty checkouts too.
+    """
+    try:
+        git_sha: Optional[str] = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=BENCH_DIR,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        git_sha = None
+    try:
+        import numpy
+
+        numpy_version: Optional[str] = numpy.__version__
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        numpy_version = None
+    try:
+        import repro
+
+        repro_version: Optional[str] = repro.__version__
+    except ImportError:  # pragma: no cover
+        repro_version = None
+    try:
+        hostname: Optional[str] = socket.gethostname()
+    except OSError:  # pragma: no cover
+        hostname = None
+    return {
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "git_sha": git_sha,
+        "python": platform.python_version(),
+        "numpy": numpy_version,
+        "repro": repro_version,
+        "hostname": hostname,
+        "platform": platform.platform(),
+        "engine_mode": "fast vs off (engine-comparable workloads)",
+    }
+
+
+def _workload_telemetry(workload: Workload) -> Dict[str, object]:
+    """One extra *untimed* engine pass under a trace recorder, compacted.
+
+    Runs outside the timed passes so the recorder never touches the gated
+    speedup ratios, and only for engine-comparable workloads (their fast
+    pass is cheap).  The embedded record is the :func:`repro.obs.summarize`
+    digest — per-span-name counts and wall/CPU totals plus the counters —
+    not the full span tree, keeping BENCH.json reviewable.
+    """
+    recorder = TraceRecorder()
+    session = Session(cache=None, telemetry=recorder)
+    overrides = dict(workload.params)
+    overrides["engine"] = "fast"
+    session.run(workload.experiment, **overrides)
+    summary = summarize(recorder.export())
+    return {
+        "engine": "fast",
+        "spans": {
+            name: {key: round(value, 4) if isinstance(value, float) else value
+                   for key, value in record.items()}
+            for name, record in summary["spans"].items()
+        },
+        "counters": summary["counters"],
+    }
+
+
 def _timed(fn: Callable[[], object]) -> Tuple[float, object]:
     start = time.perf_counter()
     result = fn()
     return time.perf_counter() - start, result
 
 
-def _profile_workload(name: str, fn: Callable[[], object], top: int = 10) -> None:
+def _profile_workload(
+    name: str,
+    fn: Callable[[], object],
+    top: int = 10,
+    profile_dir: Optional[Path] = None,
+) -> None:
     """One extra run under cProfile, printing the ``top`` cumulative hotspots.
 
     Run *in addition to* the timed passes (profiling overhead would distort
     the gated speedup ratios), so the next perf PR starts from data rather
-    than guesses.
+    than guesses.  With ``profile_dir`` set, the raw profile is also dumped
+    as ``<name>.prof`` (loadable with ``pstats``/``snakeviz``) next to a
+    ``<name>.txt`` rendering of the full cumulative table.
     """
     import cProfile
     import io
@@ -248,6 +334,13 @@ def _profile_workload(name: str, fn: Callable[[], object], top: int = 10) -> Non
     profiler.disable()
     stream = io.StringIO()
     pstats.Stats(profiler, stream=stream).sort_stats("cumulative").print_stats(top)
+    if profile_dir is not None:
+        profile_dir.mkdir(parents=True, exist_ok=True)
+        profiler.dump_stats(profile_dir / f"{name}.prof")
+        full = io.StringIO()
+        pstats.Stats(profiler, stream=full).sort_stats("cumulative").print_stats()
+        (profile_dir / f"{name}.txt").write_text(full.getvalue(), encoding="utf8")
+        print(f"[bench]   wrote {profile_dir / f'{name}.prof'} and .txt")
     print(f"[bench] --- cProfile top {top} (cumulative) for {name} ---")
     # Skip the pstats preamble; keep the header row and the hotspot lines.
     lines = stream.getvalue().splitlines()
@@ -271,6 +364,8 @@ def run_suite(
     repeats: int,
     only: Optional[List[str]] = None,
     profile: bool = False,
+    profile_dir: Optional[Path] = None,
+    telemetry: bool = True,
 ) -> Dict[str, Dict[str, object]]:
     records: Dict[str, Dict[str, object]] = {}
     for workload in WORKLOADS:
@@ -318,10 +413,18 @@ def run_suite(
             ),
             flush=True,
         )
+        if telemetry and workload.engine_comparable:
+            # One extra untimed pass: the recorder never runs during the
+            # timed passes, so the gated ratios stay telemetry-free.
+            record["telemetry"] = _workload_telemetry(workload)
         records[workload.name] = record
         if profile:
             engine = "fast" if workload.engine_comparable else None
-            _profile_workload(workload.name, lambda w=workload, e=engine: w.run(e))
+            _profile_workload(
+                workload.name,
+                lambda w=workload, e=engine: w.run(e),
+                profile_dir=profile_dir,
+            )
 
     if not only or "engine_throughput" in only:
         print(f"[bench] engine_throughput ({THROUGHPUT_FILE}) ...", flush=True)
@@ -396,6 +499,7 @@ def _payload(records: Dict[str, Dict[str, object]], tolerance: float) -> Dict[st
     return {
         "schema": 1,
         "suite": "repro benchmark suite",
+        "metadata": suite_metadata(),
         "regression_policy": {
             "metric": "speedup_vs_off",
             "tolerance": tolerance,
@@ -423,8 +527,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--only", nargs="+", default=None,
                         help="run only the named workloads")
     parser.add_argument("--profile", action="store_true",
-                        help="after timing, run each workload once under cProfile "
-                             "and print its top-10 cumulative hotspots")
+                        help="after timing, run each workload once under cProfile, "
+                             "print its top-10 cumulative hotspots, and write the "
+                             "raw .prof/.txt snapshots under --profile-dir")
+    parser.add_argument("--profile-dir", type=Path, default=DEFAULT_PROFILE_DIR,
+                        help="where --profile writes its .prof/.txt snapshots "
+                             f"(default: {DEFAULT_PROFILE_DIR})")
+    parser.add_argument("--no-telemetry", action="store_true",
+                        help="skip the extra untimed traced pass per engine workload "
+                             "(drops the per-workload span summaries from BENCH.json)")
     parser.add_argument("--update-baseline", action="store_true",
                         help=f"write the measured suite to {DEFAULT_BASELINE}")
     parser.add_argument("--list", action="store_true", help="list workloads and exit")
@@ -444,7 +555,13 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"{THROUGHPUT_MIN_SPEEDUP}x)")
         return 0
 
-    records = run_suite(args.repeats, args.only, profile=args.profile)
+    records = run_suite(
+        args.repeats,
+        args.only,
+        profile=args.profile,
+        profile_dir=args.profile_dir,
+        telemetry=not args.no_telemetry,
+    )
     payload = _payload(records, args.tolerance)
     args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
                            encoding="utf8")

@@ -33,7 +33,15 @@ the paper's framework on top of it:
   runs single experiments, selections, and parameter sweeps through
   pluggable execution backends (``inline``, ``process-pool``, ``batch``)
   with canonical spec-derived cache keys; the CLI is a thin client of it
-  (see DESIGN.md and EXPERIMENTS.md).
+  (see DESIGN.md and EXPERIMENTS.md);
+* :mod:`repro.obs` — zero-dependency observability: the
+  :class:`~repro.obs.Recorder` protocol (nested spans, counters,
+  histograms) every layer is instrumented against, with a near-zero-cost
+  null recorder as the default, an in-memory
+  :class:`~repro.obs.TraceRecorder` with JSONL/summary sinks, and an
+  export/merge contract that carries worker-process telemetry back to the
+  parent; telemetry is observation-only — results are bit-identical with
+  it on or off (``Session(telemetry=...)``, ``--trace``/``--metrics``).
 
 Fast path vs. reference path
 ----------------------------

@@ -29,10 +29,13 @@ without pickling closures.
 from __future__ import annotations
 
 import json
+import os
+import time
 from typing import Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.engine.parallel import ParallelSweepRunner
 from repro.harness.results import ExperimentResult
+from repro.obs import TraceRecorder, get_recorder, use_recorder
 
 __all__ = [
     "ExecutionBackend",
@@ -65,6 +68,33 @@ def _result_from(record: Dict[str, object]) -> ExperimentResult:
     return ExperimentResult.from_dict(record)
 
 
+def _traced_execute_payload(item: Dict[str, object]) -> Dict[str, object]:
+    """Worker entry point of the telemetry path (top-level, picklable).
+
+    Runs the payload under a fresh in-process :class:`TraceRecorder` and
+    ships the export back next to the result — the worker-side half of the
+    cross-process merge contract.  ``queue_wait_seconds`` is the wall time
+    between the parent stamping the item at submission and the worker
+    starting it (same-host clocks; clamped at zero against skew).
+    """
+    payload: Dict[str, object] = item["payload"]  # type: ignore[assignment]
+    queue_wait = max(0.0, time.time() - float(item["submitted_at"]))
+    recorder = TraceRecorder()
+    with use_recorder(recorder):
+        with recorder.span(
+            "backend.worker",
+            experiment_id=str(payload.get("experiment_id")),
+            pid=os.getpid(),
+            queue_wait_seconds=round(queue_wait, 6),
+        ):
+            record = execute_payload(payload)
+    return {
+        "record": record,
+        "telemetry": recorder.export(),
+        "queue_wait_seconds": queue_wait,
+    }
+
+
 class ExecutionBackend:
     """Interface: run payloads, yield results in submission order.
 
@@ -89,8 +119,15 @@ class InlineBackend(ExecutionBackend):
     def execute(
         self, payloads: Sequence[Dict[str, object]], registry=None
     ) -> Iterator[ExperimentResult]:
+        recorder = get_recorder()
         for payload in payloads:
-            yield _result_from(execute_payload(payload, registry))
+            with recorder.span(
+                "backend.task",
+                backend=self.name,
+                experiment_id=str(payload.get("experiment_id")),
+            ):
+                record = execute_payload(payload, registry)
+            yield _result_from(record)
 
 
 class ProcessPoolBackend(ExecutionBackend):
@@ -125,8 +162,31 @@ class ProcessPoolBackend(ExecutionBackend):
                     "processes; use the inline or batch backend with a custom registry"
                 )
         runner = ParallelSweepRunner(max_workers=self.max_workers, seed_parameter=None)
-        for record in runner.imap(execute_payload, list(payloads)):
-            yield _result_from(record)
+        recorder = get_recorder()
+        if not recorder.active:
+            for record in runner.imap(execute_payload, list(payloads)):
+                yield _result_from(record)
+            return
+        # Telemetry path: each worker runs under its own TraceRecorder and
+        # ships the export back with the result; the parent re-attaches it
+        # under a per-task span, in submission order, so the merged trace
+        # reads like one process (queue wait vs compute split out).
+        items = [
+            {"payload": payload, "submitted_at": time.time()} for payload in payloads
+        ]
+        for item, wrapped in zip(items, runner.imap(_traced_execute_payload, items)):
+            telemetry: Dict[str, object] = wrapped["telemetry"]  # type: ignore[assignment]
+            worker_spans = telemetry.get("spans") or []
+            compute = worker_spans[0].get("wall_seconds", 0.0) if worker_spans else 0.0
+            with recorder.span(
+                "backend.task",
+                backend=self.name,
+                experiment_id=str(item["payload"].get("experiment_id")),
+                queue_wait_seconds=round(float(wrapped["queue_wait_seconds"]), 6),
+                compute_seconds=round(float(compute), 6),
+            ):
+                recorder.merge(telemetry)
+            yield _result_from(wrapped["record"])
 
 
 class BatchBackend(ExecutionBackend):
@@ -150,8 +210,15 @@ class BatchBackend(ExecutionBackend):
         manifest = json.dumps({"schema": 1, "requests": list(payloads)}, sort_keys=True)
         self.last_manifest = manifest
         decoded: List[Dict[str, object]] = json.loads(manifest)["requests"]
+        recorder = get_recorder()
         for payload in decoded:
-            yield _result_from(execute_payload(payload, registry))
+            with recorder.span(
+                "backend.task",
+                backend=self.name,
+                experiment_id=str(payload.get("experiment_id")),
+            ):
+                record = execute_payload(payload, registry)
+            yield _result_from(record)
 
 
 #: Backend names accepted by :func:`resolve_backend` (and the CLI).

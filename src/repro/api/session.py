@@ -37,6 +37,7 @@ from repro.analysis.sweep import SweepResult, grid_points, merge_point_row
 from repro.api.backends import ExecutionBackend, resolve_backend
 from repro.engine.cache import ResultCache
 from repro.engine.parallel import point_seed
+from repro.obs import NULL_RECORDER, Recorder, TraceRecorder, pop_recorder, push_recorder
 from repro.harness.registry import (
     PRESET_FULL,
     PRESET_QUICK,
@@ -194,6 +195,15 @@ class Session:
     progress:
         Session-wide progress callback; the ``progress=`` argument of the run
         methods overrides it per call.
+    telemetry:
+        A :class:`repro.obs.Recorder` installed as the ambient recorder for
+        the duration of every run — each request gets a ``session.request``
+        root span (cache key, engine mode, backend, cache provenance) with
+        the engine/cache/backend spans nested below it.  ``None`` (default)
+        keeps the near-zero-overhead null recorder; ``True`` is shorthand
+        for a fresh :class:`~repro.obs.TraceRecorder` (reachable afterwards
+        as ``session.telemetry``).  Telemetry is observation only: results
+        are bit-identical with it on or off.
     """
 
     def __init__(
@@ -207,6 +217,7 @@ class Session:
         progress: Optional[ProgressCallback] = None,
         precision: Optional[float] = None,
         confidence: Optional[float] = None,
+        telemetry: Union[Recorder, bool, None] = None,
     ) -> None:
         self.seed = seed
         self.engine = engine
@@ -215,6 +226,16 @@ class Session:
         self.registry = registry if registry is not None else REGISTRY
         self.backend = resolve_backend(backend, parallel)
         self.progress = progress
+        if telemetry is True:
+            self.telemetry: Recorder = TraceRecorder()
+        elif telemetry in (None, False):
+            self.telemetry = NULL_RECORDER
+        elif isinstance(telemetry, Recorder):
+            self.telemetry = telemetry
+        else:
+            raise TypeError(
+                f"telemetry must be a repro.obs.Recorder, True, or None; got {telemetry!r}"
+            )
         if isinstance(cache, ResultCache):
             self.cache: Optional[ResultCache] = cache
         elif cache is True:
@@ -260,11 +281,39 @@ class Session:
         backend in one batch.  Fresh results are written back to the cache as
         they arrive, so an interrupted iteration keeps everything already
         yielded.
+
+        The session's telemetry recorder is installed as the ambient
+        :mod:`repro.obs` recorder for the duration of the iteration (pushed
+        and popped explicitly — a ``with`` held across ``yield`` would leak
+        the context into the caller), and every request is wrapped in a
+        ``session.request`` root span.
         """
+        token = push_recorder(self.telemetry)
+        try:
+            yield from self._run_iter(requests, progress)
+        finally:
+            pop_recorder(token)
+
+    def _request_span(self, request: RunRequest, key: Optional[str], **attributes: object):
+        return self.telemetry.span(
+            "session.request",
+            experiment_id=request.experiment_id,
+            preset=request.preset,
+            cache_key=key,
+            engine=request.kwargs.get("engine"),
+            backend=self.backend.name,
+            **attributes,
+        )
+
+    def _run_iter(
+        self,
+        requests: Sequence[RunRequest],
+        progress: Optional[ProgressCallback],
+    ) -> Iterator[RunReport]:
         emit = progress if progress is not None else self.progress
         total = len(requests)
 
-        cached: Dict[int, RunReport] = {}
+        cached: Dict[int, Tuple[RunReport, str]] = {}
         misses: List[Tuple[int, RunRequest, Optional[str]]] = []
         for index, request in enumerate(requests):
             key = None
@@ -277,11 +326,14 @@ class Session:
                     except (KeyError, TypeError, ValueError):
                         pass  # foreign/stale payload shape: treat as a miss
                     else:
-                        cached[index] = RunReport(
-                            request=request,
-                            result=result,
-                            from_cache=True,
-                            cache_path=self.cache.path_for(key),
+                        cached[index] = (
+                            RunReport(
+                                request=request,
+                                result=result,
+                                from_cache=True,
+                                cache_path=self.cache.path_for(key),
+                            ),
+                            key,
                         )
                         continue
             misses.append((index, request, key))
@@ -292,7 +344,9 @@ class Session:
         miss_iterator = iter(misses)
         for index, request in enumerate(requests):
             if index in cached:
-                report = cached[index]
+                report, hit_key = cached[index]
+                with self._request_span(request, hit_key, from_cache=True):
+                    pass
                 if emit is not None:
                     emit(ProgressEvent("cached", request, index, total, report))
                 yield report
@@ -301,20 +355,21 @@ class Session:
             assert miss_index == index
             if emit is not None:
                 emit(ProgressEvent("start", request, index, total))
-            started = time.perf_counter()
-            result = next(executing)
-            duration = time.perf_counter() - started
-            cache_path = None
-            if self.cache is not None and key is not None:
-                cache_path = self.cache.put(
-                    key,
-                    result.to_dict(),
-                    key_fields={
-                        "experiment_id": request.experiment_id,
-                        "parameters": request.kwargs,
-                        "preset": request.preset,
-                    },
-                )
+            with self._request_span(request, key, from_cache=False):
+                started = time.perf_counter()
+                result = next(executing)
+                duration = time.perf_counter() - started
+                cache_path = None
+                if self.cache is not None and key is not None:
+                    cache_path = self.cache.put(
+                        key,
+                        result.to_dict(),
+                        key_fields={
+                            "experiment_id": request.experiment_id,
+                            "parameters": request.kwargs,
+                            "preset": request.preset,
+                        },
+                    )
             report = RunReport(
                 request=request,
                 result=result,

@@ -7,6 +7,8 @@ Usage::
     python -m repro run all --quick --parallel 2 --seed 7
     python -m repro run E5 --engine exact --no-cache
     python -m repro run all --quick --backend batch
+    python -m repro run all --quick --trace trace.jsonl --metrics
+    python -m repro cache stats
     python -m repro report --results benchmarks/results --output EXPERIMENTS.md
 
 ``run`` resolves the selected experiments of DESIGN.md's index against the
@@ -14,7 +16,8 @@ spec registry (:data:`repro.harness.registry.REGISTRY`), executes them
 through a :class:`~repro.api.Session`, prints their tables, and optionally
 writes the JSON artifacts; ``report`` renders a directory of artifacts into
 the EXPERIMENTS.md format.  ``list`` prints each spec's parameter schema,
-quick preset, and capability tags.
+quick preset, and capability tags.  ``cache`` inspects (``stats``) or empties
+(``clear``) the on-disk result cache without running anything.
 
 Every knob is session configuration, not CLI logic: ``--quick`` selects the
 spec's ``quick`` preset, ``--seed`` reseeds every experiment whose spec
@@ -22,9 +25,13 @@ declares the seed contract, ``--engine`` picks the execution engine for
 every spec with the engine capability, ``--parallel``/``--backend`` choose
 the execution backend, and results are memoised in the
 :mod:`repro.engine.cache` result cache under the spec-derived canonical key
-(``--no-cache`` bypasses it in both directions).  External callers get the
-identical behavior from ``repro.api`` directly — the CLI holds no experiment
-knowledge of its own.
+(``--no-cache`` bypasses it in both directions).  Observability is opt-in:
+``--trace PATH`` records the run under a :class:`repro.obs.TraceRecorder`
+and writes the span tree as JSONL; ``--metrics`` prints the summary table
+(span timings, counters, histograms) after the run.  Both are observation
+only — results are bit-identical with them on or off.  External callers get
+the identical behavior from ``repro.api`` directly — the CLI holds no
+experiment knowledge of its own.
 """
 
 from __future__ import annotations
@@ -36,9 +43,11 @@ from typing import List, Optional, Sequence
 
 from repro.api import BACKEND_CHOICES, PRESET_FULL, PRESET_QUICK, RunReport, Session
 from repro.engine.adapters import ENGINE_CHOICES
+from repro.engine.cache import ResultCache
 from repro.harness.registry import REGISTRY
 from repro.harness.reporting import render_experiment, write_json
 from repro.harness.summary import load_results_directory, render_experiments_markdown
+from repro.obs import TraceRecorder, render_summary, write_jsonl
 
 __all__ = ["main", "build_parser", "DEFAULT_SEED"]
 
@@ -46,6 +55,12 @@ __all__ = ["main", "build_parser", "DEFAULT_SEED"]
 #: spec declares the seed contract receives it, so two machines running the
 #: same command produce bit-for-bit identical tables.
 DEFAULT_SEED = 0
+
+
+def _say(stream, text: str = "") -> None:
+    """Write one output line (the CLI's only output primitive; ``print`` is
+    banned in ``src/repro`` so nothing can bypass the caller's stream)."""
+    stream.write(f"{text}\n")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -139,6 +154,37 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="result cache directory (default: $REPRO_CACHE_DIR or ./.repro-cache)",
     )
+    run_parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "record the run under a trace recorder and write the span tree, "
+            "counters, and histograms to PATH as JSONL (observation only: "
+            "results are bit-identical with tracing on or off)"
+        ),
+    )
+    run_parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the telemetry summary table (span timings, counters) after the run",
+    )
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect or clear the on-disk result cache"
+    )
+    cache_parser.add_argument(
+        "action",
+        choices=("stats", "clear"),
+        help="'stats' prints the cache directory, entry count, and size; 'clear' empties it",
+    )
+    cache_parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="result cache directory (default: $REPRO_CACHE_DIR or ./.repro-cache)",
+    )
 
     report_parser = subparsers.add_parser(
         "report", help="render a directory of JSON artifacts as EXPERIMENTS.md"
@@ -154,14 +200,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _command_list(stream) -> int:
     for experiment_id, spec in REGISTRY.items():
-        print(f"{experiment_id:4s} {spec.title}", file=stream)
+        _say(stream, f"{experiment_id:4s} {spec.title}")
         tags = ", ".join(spec.capabilities) if spec.capabilities else "none"
-        print(f"     capabilities: {tags}", file=stream)
+        _say(stream, f"     capabilities: {tags}")
         schema = ", ".join(parameter.render() for parameter in spec.parameters)
-        print(f"     parameters  : {schema}", file=stream)
+        _say(stream, f"     parameters  : {schema}")
         if spec.quick:
             quick = ", ".join(f"{name}={value!r}" for name, value in spec.quick.items())
-            print(f"     quick preset: {quick}", file=stream)
+            _say(stream, f"     quick preset: {quick}")
     return 0
 
 
@@ -177,6 +223,7 @@ def _command_run(args: argparse.Namespace, stream) -> int:
         cache = args.cache_dir
     else:
         cache = True
+    recorder = TraceRecorder() if (args.trace is not None or args.metrics) else None
     session = Session(
         seed=args.seed,
         engine=args.engine,
@@ -185,6 +232,7 @@ def _command_run(args: argparse.Namespace, stream) -> int:
         parallel=args.parallel,
         precision=args.precision,
         confidence=args.confidence,
+        telemetry=recorder,
     )
     preset = PRESET_QUICK if args.quick else PRESET_FULL
 
@@ -207,36 +255,56 @@ def _command_run(args: argparse.Namespace, stream) -> int:
                 if verdict == "fail"
                 else f"{report.experiment_id}({verdict})"
             )
+    if recorder is not None:
+        export = recorder.export()
+        if args.trace is not None:
+            write_jsonl(export, args.trace)
+            _say(stream, f"wrote trace {args.trace}")
+        if args.metrics:
+            _say(stream, render_summary(export))
     if failures:
-        print(
+        _say(
+            stream,
             f"FAILED verdicts ({len(failures)}/{len(experiment_ids)}): " + ", ".join(failures),
-            file=stream,
         )
         return 1
     return 0
 
 
 def _emit_report(report: RunReport, output_dir: Optional[Path], stream) -> None:
-    print(render_experiment(report.result), file=stream)
+    _say(stream, render_experiment(report.result))
     if report.from_cache:
-        print(f"(cached result reused from {report.cache_path})", file=stream)
-    print(file=stream)
+        _say(stream, f"(cached result reused from {report.cache_path})")
+    _say(stream)
     if output_dir is not None:
         path = write_json(report.result, output_dir / f"{report.experiment_id.lower()}.json")
-        print(f"wrote {path}", file=stream)
+        _say(stream, f"wrote {path}")
+
+
+def _command_cache(args: argparse.Namespace, stream) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        _say(stream, f"removed {removed} cache entries from {cache.directory}")
+        return 0
+    shape = cache.describe()
+    _say(stream, f"directory  : {shape['directory']}")
+    _say(stream, f"entries    : {shape['entries']}")
+    _say(stream, f"total bytes: {shape['total_bytes']}")
+    return 0
 
 
 def _command_report(args: argparse.Namespace, stream) -> int:
     results = load_results_directory(args.results)
     if not results:
-        print(f"no JSON artifacts found in {args.results}", file=sys.stderr)
+        _say(sys.stderr, f"no JSON artifacts found in {args.results}")
         return 1
     markdown = render_experiments_markdown(results)
     if args.output is None:
-        print(markdown, file=stream)
+        _say(stream, markdown)
     else:
         Path(args.output).write_text(markdown, encoding="utf8")
-        print(f"wrote {args.output}", file=stream)
+        _say(stream, f"wrote {args.output}")
     return 0
 
 
@@ -248,6 +316,8 @@ def main(argv: Optional[Sequence[str]] = None, stream=None) -> int:
         return _command_list(stream)
     if args.command == "run":
         return _command_run(args, stream)
+    if args.command == "cache":
+        return _command_cache(args, stream)
     if args.command == "report":
         return _command_report(args, stream)
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover

@@ -32,10 +32,20 @@ import hashlib
 import json
 import os
 import tempfile
+import time
+from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Dict, Mapping, Optional
 
-__all__ = ["ResultCache", "cache_key", "request_cache_key", "default_cache_dir"]
+from repro.obs import get_recorder
+
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "cache_key",
+    "request_cache_key",
+    "default_cache_dir",
+]
 
 #: Version of the key layout of :func:`request_cache_key`.  Bump when the
 #: key fields change shape; the field's presence alone already separates the
@@ -117,6 +127,27 @@ def request_cache_key(
     return hashlib.sha256(encoded.encode("utf8")).hexdigest()
 
 
+@dataclass
+class CacheStats:
+    """Per-instance counters of one :class:`ResultCache`'s traffic.
+
+    ``hits``/``misses`` partition the :meth:`ResultCache.get` calls;
+    ``corrupt`` counts the subset of misses caused by an *existing* entry
+    that failed to parse or had the wrong shape (these are also misses);
+    ``writes`` counts :meth:`ResultCache.put` calls and ``evictions`` the
+    entries removed by :meth:`ResultCache.clear`.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    corrupt: int = 0
+    evictions: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return asdict(self)
+
+
 class ResultCache:
     """A directory of content-addressed JSON results.
 
@@ -125,10 +156,18 @@ class ResultCache:
     directory:
         Cache directory; defaults to :func:`default_cache_dir`.  Created
         lazily on the first :meth:`put`.
+
+    Every instance tracks its own traffic in :attr:`stats`
+    (:class:`CacheStats`), and mirrors the same signals into the ambient
+    :mod:`repro.obs` recorder: ``cache.hit``/``cache.miss``/``cache.write``/
+    ``cache.corrupt`` counters plus a ``cache.lookup_seconds`` latency
+    histogram (lookups are additionally wrapped in ``cache.lookup`` /
+    ``cache.write`` spans when a trace recorder is installed).
     """
 
     def __init__(self, directory: Optional[Path] = None) -> None:
         self.directory = Path(directory) if directory is not None else default_cache_dir()
+        self.stats = CacheStats()
 
     def path_for(self, key: str) -> Path:
         return self.directory / f"{key}.json"
@@ -137,16 +176,38 @@ class ResultCache:
     def get(self, key: str) -> Optional[Dict[str, object]]:
         """The cached payload for a key, or ``None`` on miss (a corrupt or
         truncated entry also reads as a miss rather than an error)."""
-        path = self.path_for(key)
-        try:
-            with path.open("r", encoding="utf8") as handle:
-                entry = json.load(handle)
-        except (OSError, UnicodeDecodeError, json.JSONDecodeError):
-            return None
-        if not isinstance(entry, dict):
-            return None
-        payload = entry.get("payload")
-        return payload if isinstance(payload, dict) else None
+        recorder = get_recorder()
+        with recorder.span("cache.lookup", key=key[:16]) as span:
+            started = time.perf_counter()
+            path = self.path_for(key)
+            entry: object = None
+            corrupt = False
+            try:
+                with path.open("r", encoding="utf8") as handle:
+                    entry = json.load(handle)
+            except FileNotFoundError:
+                pass
+            except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+                corrupt = True
+            payload = entry.get("payload") if isinstance(entry, dict) else None
+            if payload is not None and not isinstance(payload, dict):
+                payload = None
+            if payload is None and entry is not None:
+                # The entry existed but did not hold a payload-shaped dict.
+                corrupt = True
+            recorder.histogram("cache.lookup_seconds", time.perf_counter() - started)
+            if corrupt:
+                self.stats.corrupt += 1
+                recorder.counter("cache.corrupt")
+            if payload is None:
+                self.stats.misses += 1
+                recorder.counter("cache.miss")
+                span.annotate(outcome="corrupt" if corrupt else "miss")
+                return None
+            self.stats.hits += 1
+            recorder.counter("cache.hit")
+            span.annotate(outcome="hit")
+            return payload
 
     def put(
         self,
@@ -156,28 +217,32 @@ class ResultCache:
     ) -> Path:
         """Store a payload under a key; ``key_fields`` (experiment id,
         parameters, ...) are saved alongside for human inspection."""
-        self.directory.mkdir(parents=True, exist_ok=True)
-        path = self.path_for(key)
-        entry = {
-            "key": key,
-            "key_fields": _canonical(dict(key_fields)) if key_fields is not None else None,
-            "payload": dict(payload),
-        }
-        # Unique temp name + atomic rename: concurrent writers of the same
-        # key each publish a complete entry, last one wins.
-        descriptor, tmp_name = tempfile.mkstemp(
-            dir=self.directory, prefix=f".{key[:16]}-", suffix=".tmp"
-        )
-        try:
-            with os.fdopen(descriptor, "w", encoding="utf8") as handle:
-                json.dump(entry, handle, indent=2, sort_keys=True)
-            os.replace(tmp_name, path)
-        except BaseException:
+        recorder = get_recorder()
+        with recorder.span("cache.write", key=key[:16]):
+            self.directory.mkdir(parents=True, exist_ok=True)
+            path = self.path_for(key)
+            entry = {
+                "key": key,
+                "key_fields": _canonical(dict(key_fields)) if key_fields is not None else None,
+                "payload": dict(payload),
+            }
+            # Unique temp name + atomic rename: concurrent writers of the same
+            # key each publish a complete entry, last one wins.
+            descriptor, tmp_name = tempfile.mkstemp(
+                dir=self.directory, prefix=f".{key[:16]}-", suffix=".tmp"
+            )
             try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(descriptor, "w", encoding="utf8") as handle:
+                    json.dump(entry, handle, indent=2, sort_keys=True)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+            self.stats.writes += 1
+            recorder.counter("cache.write")
         return path
 
     def __contains__(self, key: str) -> bool:
@@ -195,4 +260,23 @@ class ResultCache:
             for path in self.directory.glob("*.json"):
                 path.unlink()
                 removed += 1
+        self.stats.evictions += removed
         return removed
+
+    def describe(self) -> Dict[str, object]:
+        """On-disk shape of the cache (for ``python -m repro cache stats``):
+        directory, entry count, and total payload bytes."""
+        entries = 0
+        total_bytes = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                entries += 1
+                try:
+                    total_bytes += path.stat().st_size
+                except OSError:
+                    pass
+        return {
+            "directory": str(self.directory),
+            "entries": entries,
+            "total_bytes": total_bytes,
+        }

@@ -57,6 +57,8 @@ from typing import TYPE_CHECKING, Callable, Dict, Hashable, List, Optional, Tupl
 
 import numpy as np
 
+from repro.obs import get_recorder
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.decision import Decider
     from repro.core.languages import Configuration
@@ -666,6 +668,16 @@ def compile_decision(decider: "Decider", configuration: "Configuration") -> Comp
     :func:`is_compilable` first and fall back to the reference path — and
     :class:`ProgramCompilationError` for programs beyond the IR's draw cap.
     """
+    recorder = get_recorder()
+    with recorder.span(
+        "engine.compile", decider=str(getattr(decider, "name", decider))
+    ) as span:
+        compiled = _compile_decision(decider, configuration)
+        span.annotate(nodes=compiled.n_nodes, programs=len(compiled.programs))
+    return compiled
+
+
+def _compile_decision(decider: "Decider", configuration: "Configuration") -> CompiledDecision:
     if not is_compilable(decider):
         raise TypeError(
             f"decider {getattr(decider, 'name', decider)!r} exposes neither "

@@ -76,6 +76,7 @@ from repro.engine.compiler import (
 from repro.engine.executor import _resolve_max_bytes
 from repro.local.ball import collect_ball
 from repro.local.randomness import derive_seed
+from repro.obs import get_recorder
 from repro.stats import PrecisionTarget, ProbabilityEstimate, sequential_estimate
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -391,6 +392,18 @@ def compile_construction(constructor: object, network: "Network") -> CompiledCon
     for programs beyond the engine's shape (non-hashable values, alphabets
     larger than :data:`MAX_OUTPUT_VALUES`).
     """
+    recorder = get_recorder()
+    with recorder.span(
+        "engine.compile_construction",
+        constructor=str(getattr(constructor, "name", constructor)),
+    ) as compile_span:
+        compiled = _compile_construction(constructor, network, compile_span)
+    return compiled
+
+
+def _compile_construction(
+    constructor: object, network: "Network", compile_span
+) -> CompiledConstruction:
     program_fn = _output_program_fn(constructor)
     if program_fn is None:
         raise TypeError(
@@ -457,6 +470,7 @@ def compile_construction(constructor: object, network: "Network") -> CompiledCon
             programs.append(OutputProgram(kind=kind, codes=codes, low=low, high=high, q=q))
         program_ids[position] = interned[key]
 
+    compile_span.annotate(nodes=len(nodes), programs=len(programs), alphabet=len(values))
     return CompiledConstruction(
         nodes=tuple(nodes),
         identities=np.array([network.identity(node) for node in nodes], dtype=np.int64),
@@ -962,26 +976,37 @@ class ConstructionStream:
         random_positions = compiled.random_index
         if len(random_positions) == 0:
             return codes
-        if self.mode == "exact":
-            programs = [compiled.program_of(position) for position in random_positions]
-            for trial in range(count):
-                master = int(self._trial_seed(start + trial))
-                for position, program in zip(random_positions, programs):
-                    tape_seed = derive_seed(
-                        master, self._salt, int(compiled.identities[position])
-                    )
-                    codes[trial, position] = program.sample_exact(
-                        np.random.default_rng(tape_seed)
+        recorder = get_recorder()
+        with recorder.span(
+            "engine.construct",
+            mode=self.mode,
+            trials=count,
+            offset=start,
+            nodes=compiled.n_nodes,
+            random_nodes=len(random_positions),
+        ):
+            if self.mode == "exact":
+                recorder.counter("engine.chunks")
+                programs = [compiled.program_of(position) for position in random_positions]
+                for trial in range(count):
+                    master = int(self._trial_seed(start + trial))
+                    for position, program in zip(random_positions, programs):
+                        tape_seed = derive_seed(
+                            master, self._salt, int(compiled.identities[position])
+                        )
+                        codes[trial, position] = program.sample_exact(
+                            np.random.default_rng(tape_seed)
+                        )
+                return codes
+            trial_block = max(1, self._max_bytes // (8 * max(len(random_positions), 1)))
+            for lo in range(0, count, trial_block):
+                hi = min(count, lo + trial_block)
+                recorder.counter("engine.chunks")
+                for position, generator in zip(random_positions, self._generators):
+                    codes[lo:hi, position] = compiled.program_of(position).sample_fast(
+                        generator, hi - lo
                     )
             return codes
-        trial_block = max(1, self._max_bytes // (8 * max(len(random_positions), 1)))
-        for lo in range(0, count, trial_block):
-            hi = min(count, lo + trial_block)
-            for position, generator in zip(random_positions, self._generators):
-                codes[lo:hi, position] = compiled.program_of(position).sample_fast(
-                    generator, hi - lo
-                )
-        return codes
 
 
 def adaptive_success_estimate(

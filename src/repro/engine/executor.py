@@ -51,6 +51,7 @@ import numpy as np
 
 from repro.engine.compiler import ACCEPT, CompiledDecision, VoteProgram
 from repro.local.randomness import derive_seed
+from repro.obs import get_recorder
 from repro.stats import PrecisionTarget, ProbabilityEstimate, sequential_estimate
 
 __all__ = [
@@ -187,18 +188,31 @@ def _fast_votes_for(
     (``Generator.random`` fills C-order): chunk-invariance holds on both
     axes.
     """
+    recorder = get_recorder()
     draws = max(program.max_draws, 1)
     generators = [
         _fast_node_generator(compiled, position, seed, salt) for position in positions
     ]
     votes = np.empty((trials, len(positions)), dtype=bool)
     trial_block = max(1, max_bytes // (8 * len(positions) * draws))
-    for start in range(0, trials, trial_block):
-        stop = min(trials, start + trial_block)
-        uniforms = np.empty((stop - start, len(positions), draws), dtype=np.float64)
-        for column, generator in enumerate(generators):
-            uniforms[:, column, :] = generator.random((stop - start, draws))
-        votes[start:stop] = _evaluate_program_block(program, uniforms)
+    # Telemetry is observation only: the span times the block, the chunk
+    # counter tallies it — neither touches a generator, so the sampled
+    # stream (and hence every estimate) is identical with telemetry on/off.
+    with recorder.span(
+        "engine.chunk",
+        mode="fast",
+        trials=trials,
+        columns=len(positions),
+        draws=draws,
+        working_set_bytes=min(trials, trial_block) * len(positions) * draws * 8,
+    ):
+        for start in range(0, trials, trial_block):
+            stop = min(trials, start + trial_block)
+            recorder.counter("engine.chunks")
+            uniforms = np.empty((stop - start, len(positions), draws), dtype=np.float64)
+            for column, generator in enumerate(generators):
+                uniforms[:, column, :] = generator.random((stop - start, draws))
+            votes[start:stop] = _evaluate_program_block(program, uniforms)
     return votes
 
 
@@ -283,16 +297,33 @@ def accept_vector(
     random_positions = compiled.random_index
     if len(random_positions) == 0:
         return np.ones(trials, dtype=bool)
-    if mode == "exact":
-        return _exact_accepts(compiled, trials, trial_seed, salt)
-    accepted = np.ones(trials, dtype=bool)
-    for program, positions in _fast_column_blocks(
-        compiled, random_positions, trials, max_bytes
-    ):
-        if not accepted.any():  # short-circuit carry: everything rejected
-            break
-        votes = _fast_votes_for(compiled, program, positions, trials, seed, salt, max_bytes)
-        accepted &= votes.all(axis=1)
+    recorder = get_recorder()
+    with recorder.span(
+        "engine.execute",
+        op="accept_vector",
+        mode=mode,
+        trials=trials,
+        nodes=compiled.n_nodes,
+        random_nodes=len(random_positions),
+        max_bytes=max_bytes,
+    ) as span:
+        if mode == "exact":
+            recorder.counter("engine.chunks")
+            return _exact_accepts(compiled, trials, trial_seed, salt)
+        accepted = np.ones(trials, dtype=bool)
+        blocks = 0
+        for program, positions in _fast_column_blocks(
+            compiled, random_positions, trials, max_bytes
+        ):
+            if not accepted.any():  # short-circuit carry: everything rejected
+                span.annotate(short_circuited=True)
+                break
+            votes = _fast_votes_for(
+                compiled, program, positions, trials, seed, salt, max_bytes
+            )
+            accepted &= votes.all(axis=1)
+            blocks += 1
+        span.annotate(column_blocks=blocks)
     return accepted
 
 
@@ -321,17 +352,28 @@ def vote_matrix(
     random_positions = compiled.random_index
     if len(random_positions) == 0:
         return votes
-    if mode == "exact":
-        votes[:, random_positions] = _exact_votes(
-            compiled, random_positions, trials, trial_seed, salt
-        )
-        return votes
-    for program, positions in _fast_column_blocks(
-        compiled, random_positions, trials, max_bytes
+    recorder = get_recorder()
+    with recorder.span(
+        "engine.execute",
+        op="vote_matrix",
+        mode=mode,
+        trials=trials,
+        nodes=compiled.n_nodes,
+        random_nodes=len(random_positions),
+        max_bytes=max_bytes,
     ):
-        votes[:, positions] = _fast_votes_for(
-            compiled, program, positions, trials, seed, salt, max_bytes
-        )
+        if mode == "exact":
+            recorder.counter("engine.chunks")
+            votes[:, random_positions] = _exact_votes(
+                compiled, random_positions, trials, trial_seed, salt
+            )
+            return votes
+        for program, positions in _fast_column_blocks(
+            compiled, random_positions, trials, max_bytes
+        ):
+            votes[:, positions] = _fast_votes_for(
+                compiled, program, positions, trials, seed, salt, max_bytes
+            )
     return votes
 
 
@@ -436,31 +478,37 @@ class AcceptStream:
         self._offset += count
         if self._constant is not None:
             return np.full(count, self._constant, dtype=bool)
-        if self.mode == "exact":
-            return _exact_accepts(
-                self.compiled,
-                count,
-                lambda trial: self._trial_seed(start + trial),
-                self._salt,
-            )
-        accepted = np.ones(count, dtype=bool)
-        for program, positions in self._groups:
-            draws = max(program.max_draws, 1)
-            votes = np.empty((count, len(positions)), dtype=bool)
-            trial_block = max(1, self._max_bytes // (8 * len(positions) * draws))
-            for lo in range(0, count, trial_block):
-                hi = min(count, lo + trial_block)
-                uniforms = np.empty((hi - lo, len(positions), draws), dtype=np.float64)
-                for column, position in enumerate(positions):
-                    uniforms[:, column, :] = self._generators[position].random(
-                        (hi - lo, draws)
-                    )
-                votes[lo:hi] = _evaluate_program_block(program, uniforms)
-            # No cross-group short-circuit: every node's generator must
-            # advance exactly ``count`` trials per batch, or the next batch
-            # would read a shifted stream and break chunk invariance.
-            accepted &= votes.all(axis=1)
-        return accepted
+        recorder = get_recorder()
+        with recorder.span(
+            "engine.stream_sample", mode=self.mode, trials=count, offset=start
+        ):
+            if self.mode == "exact":
+                recorder.counter("engine.chunks")
+                return _exact_accepts(
+                    self.compiled,
+                    count,
+                    lambda trial: self._trial_seed(start + trial),
+                    self._salt,
+                )
+            accepted = np.ones(count, dtype=bool)
+            for program, positions in self._groups:
+                draws = max(program.max_draws, 1)
+                votes = np.empty((count, len(positions)), dtype=bool)
+                trial_block = max(1, self._max_bytes // (8 * len(positions) * draws))
+                for lo in range(0, count, trial_block):
+                    hi = min(count, lo + trial_block)
+                    recorder.counter("engine.chunks")
+                    uniforms = np.empty((hi - lo, len(positions), draws), dtype=np.float64)
+                    for column, position in enumerate(positions):
+                        uniforms[:, column, :] = self._generators[position].random(
+                            (hi - lo, draws)
+                        )
+                    votes[lo:hi] = _evaluate_program_block(program, uniforms)
+                # No cross-group short-circuit: every node's generator must
+                # advance exactly ``count`` trials per batch, or the next batch
+                # would read a shifted stream and break chunk invariance.
+                accepted &= votes.all(axis=1)
+            return accepted
 
 
 def adaptive_acceptance(

@@ -38,6 +38,7 @@ from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence
 
 from repro.analysis.sweep import SweepResult, grid_points, merge_point_row
 from repro.local.randomness import derive_seed
+from repro.obs import get_recorder
 
 __all__ = ["ParallelSweepRunner", "point_seed"]
 
@@ -106,9 +107,13 @@ class ParallelSweepRunner:
                 yield function(payload)
             return
 
+        recorder = get_recorder()
         pool = ProcessPoolExecutor(max_workers=self.max_workers)
         try:
-            futures = [pool.submit(function, payload) for payload in payloads]
+            with recorder.span(
+                "parallel.submit", tasks=len(payloads), max_workers=self.max_workers
+            ):
+                futures = [pool.submit(function, payload) for payload in payloads]
             for future in futures:
                 yield future.result()
         finally:

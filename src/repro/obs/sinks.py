@@ -1,0 +1,195 @@
+"""Sinks: where a finished :class:`~repro.obs.TraceRecorder` export goes.
+
+A sink consumes the JSON-able export dict (see
+:meth:`repro.obs.TraceRecorder.export`) — recorders collect, sinks render:
+
+* :class:`MemorySink` — keeps the exports in a list (tests, embedding).
+* :class:`JsonlSink` — one JSON object per line: flattened span records
+  (``id``/``parent`` pairs preserve the tree), then counters, then
+  histograms.  :func:`read_jsonl` loads the lines back for round-trip
+  tests and offline analysis.
+* :func:`render_summary` — the human-readable table the CLI's ``--metrics``
+  flag prints: per-span-name counts and total wall/CPU seconds, counter
+  values, histogram summaries.
+
+:func:`summarize` is the shared aggregation both the table and the
+benchmark suite's BENCH.json embedding use.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+__all__ = [
+    "Sink",
+    "MemorySink",
+    "JsonlSink",
+    "iter_span_records",
+    "write_jsonl",
+    "read_jsonl",
+    "summarize",
+    "render_summary",
+]
+
+
+class Sink:
+    """Interface: consume one finished telemetry export."""
+
+    def write(self, export: Dict[str, object]) -> None:
+        raise NotImplementedError
+
+
+class MemorySink(Sink):
+    """Collect exports in memory (the test double)."""
+
+    def __init__(self) -> None:
+        self.exports: List[Dict[str, object]] = []
+
+    def write(self, export: Dict[str, object]) -> None:
+        self.exports.append(export)
+
+
+def iter_span_records(export: Dict[str, object]) -> Iterator[Dict[str, object]]:
+    """Flatten the export's span forest depth-first into JSONL-shaped records.
+
+    Each record carries a per-export ``id`` and its ``parent`` id (``None``
+    for roots), so the nesting is recoverable from the flat stream.
+    """
+    next_id = 0
+
+    def visit(record: Dict[str, object], parent: Optional[int]) -> Iterator[Dict[str, object]]:
+        nonlocal next_id
+        span_id = next_id
+        next_id += 1
+        yield {
+            "record": "span",
+            "id": span_id,
+            "parent": parent,
+            "name": record.get("name"),
+            "started_at": record.get("started_at"),
+            "wall_seconds": record.get("wall_seconds"),
+            "cpu_seconds": record.get("cpu_seconds"),
+            "attributes": record.get("attributes") or {},
+        }
+        for child in record.get("children") or []:
+            yield from visit(child, span_id)
+
+    for root in export.get("spans") or []:
+        yield from visit(root, None)
+
+
+def write_jsonl(export: Dict[str, object], path: Union[str, Path]) -> Path:
+    """Write one export as JSON lines: spans (flattened), counters, histograms."""
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf8") as handle:
+        header = {"record": "trace", "schema": export.get("schema", 1)}
+        handle.write(json.dumps(header, sort_keys=True) + "\n")
+        for record in iter_span_records(export):
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        for name in sorted(export.get("counters") or {}):
+            record = {"record": "counter", "name": name, "value": export["counters"][name]}
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        for name in sorted(export.get("histograms") or {}):
+            record = {"record": "histogram", "name": name}
+            record.update(export["histograms"][name])
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return path
+
+
+def read_jsonl(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """Load a JSONL trace back as a list of record dicts (round-trip tests,
+    offline analysis)."""
+    records = []
+    with Path(path).open("r", encoding="utf8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+class JsonlSink(Sink):
+    """Write each export to a JSONL trace file (last write wins)."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    def write(self, export: Dict[str, object]) -> None:
+        write_jsonl(export, self.path)
+
+
+# --------------------------------------------------------------------------- #
+# Aggregation and the human-readable table
+# --------------------------------------------------------------------------- #
+def summarize(export: Dict[str, object]) -> Dict[str, object]:
+    """Aggregate an export per span name: counts and total wall/CPU seconds,
+    next to the raw counters and histogram summaries."""
+    spans: Dict[str, Dict[str, float]] = {}
+    for record in iter_span_records(export):
+        entry = spans.setdefault(
+            str(record["name"]), {"count": 0, "wall_seconds": 0.0, "cpu_seconds": 0.0}
+        )
+        entry["count"] += 1
+        entry["wall_seconds"] += float(record.get("wall_seconds") or 0.0)
+        entry["cpu_seconds"] += float(record.get("cpu_seconds") or 0.0)
+    for entry in spans.values():
+        entry["wall_seconds"] = round(entry["wall_seconds"], 6)
+        entry["cpu_seconds"] = round(entry["cpu_seconds"], 6)
+    histograms = {}
+    for name, record in (export.get("histograms") or {}).items():
+        count = int(record.get("count", 0))
+        histograms[name] = {
+            "count": count,
+            "mean": round(float(record.get("total", 0.0)) / count, 6) if count else None,
+            "min": record.get("min"),
+            "max": record.get("max"),
+        }
+    return {
+        "spans": spans,
+        "counters": dict(export.get("counters") or {}),
+        "histograms": histograms,
+    }
+
+
+def render_summary(export: Dict[str, object]) -> str:
+    """The ``--metrics`` table: spans, counters, histograms, one block each."""
+    summary = summarize(export)
+    lines: List[str] = []
+
+    spans = summary["spans"]
+    lines.append(f"{'span':<36} {'count':>7} {'wall_s':>10} {'cpu_s':>10}")
+    for name in sorted(spans):
+        entry = spans[name]
+        lines.append(
+            f"{name:<36} {entry['count']:>7d} "
+            f"{entry['wall_seconds']:>10.4f} {entry['cpu_seconds']:>10.4f}"
+        )
+    if not spans:
+        lines.append("  (no spans recorded)")
+
+    counters = summary["counters"]
+    if counters:
+        lines.append("")
+        lines.append(f"{'counter':<36} {'value':>7}")
+        for name in sorted(counters):
+            lines.append(f"{name:<36} {counters[name]:>7d}")
+
+    histograms = summary["histograms"]
+    if histograms:
+        lines.append("")
+        lines.append(f"{'histogram':<36} {'count':>7} {'mean':>10} {'min':>10} {'max':>10}")
+        for name in sorted(histograms):
+            entry = histograms[name]
+
+            def cell(value: object) -> str:
+                return f"{value:>10.4g}" if isinstance(value, (int, float)) else f"{'-':>10}"
+
+            lines.append(
+                f"{name:<36} {entry['count']:>7d} "
+                f"{cell(entry['mean'])} {cell(entry['min'])} {cell(entry['max'])}"
+            )
+    return "\n".join(lines) + "\n"

@@ -33,6 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Callable, Optional, Union
 
+from repro.obs import get_recorder
 from repro.stats.accumulators import BernoulliAccumulator
 from repro.stats.intervals import (
     ConfidenceInterval,
@@ -196,18 +197,43 @@ def sequential_estimate(
     truncated at ``max_trials`` — so for a fixed stream, the stopping trial
     count is a pure function of the data.
     """
+    recorder = get_recorder()
     accumulator = BernoulliAccumulator()
-    batch = target.min_trials
-    while True:
-        count = batch
-        if target.max_trials is not None:
-            count = min(count, target.max_trials - accumulator.trials)
-        if count <= 0:
-            break
-        accumulator.update(draw(count), count)
-        if target.satisfied(accumulator.successes, accumulator.trials):
-            break
-        batch = accumulator.trials  # doubling schedule: total doubles per round
+    with recorder.span(
+        "stats.sequential_estimate",
+        method=target.method,
+        half_width_target=target.half_width,
+        min_trials=target.min_trials,
+        max_trials=target.max_trials,
+    ) as span:
+        batch = target.min_trials
+        stop_reason = "budget"
+        while True:
+            count = batch
+            if target.max_trials is not None:
+                count = min(count, target.max_trials - accumulator.trials)
+            if count <= 0:
+                break
+            accumulator.update(draw(count), count)
+            # Trajectory telemetry: the extra interval evaluation happens
+            # only when a trace recorder is installed and never feeds back
+            # into the stopping decision, which stays on target.satisfied.
+            if recorder.active:
+                recorder.counter("stats.rounds")
+                recorder.counter("stats.trials", count)
+                recorder.histogram(
+                    "stats.ci_half_width",
+                    target.interval(accumulator.successes, accumulator.trials).half_width,
+                )
+            if target.satisfied(accumulator.successes, accumulator.trials):
+                stop_reason = "precision"
+                break
+            batch = accumulator.trials  # doubling schedule: total doubles per round
+        span.annotate(
+            trials=accumulator.trials,
+            successes=accumulator.successes,
+            stop_reason=stop_reason,
+        )
     interval = target.interval(accumulator.successes, accumulator.trials)
     return ProbabilityEstimate(
         successes=accumulator.successes,

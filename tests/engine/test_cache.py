@@ -127,6 +127,55 @@ class TestResultCache:
         assert cache.clear() == 0
 
 
+class TestCacheStats:
+    def test_traffic_counters(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("E1", {"trials": 10}, 0)
+        cache.get(key)  # miss
+        cache.put(key, {"rows": []})
+        cache.get(key)  # hit
+        cache.get(cache_key("E1", {"trials": 11}, 0))  # miss
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 2
+        assert cache.stats.writes == 1
+        assert cache.stats.corrupt == 0
+        assert cache.stats.as_dict() == {
+            "hits": 1, "misses": 2, "writes": 1, "corrupt": 0, "evictions": 0,
+        }
+
+    def test_corrupt_entries_counted_as_corrupt_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        unparsable = cache_key("E1", {"i": 0}, 0)
+        cache.put(unparsable, {"rows": []})
+        cache.path_for(unparsable).write_text("{not json", encoding="utf8")
+        wrong_shape = cache_key("E1", {"i": 1}, 0)
+        cache.path_for(wrong_shape).write_text('{"payload": [1, 2]}', encoding="utf8")
+        assert cache.get(unparsable) is None
+        assert cache.get(wrong_shape) is None
+        assert cache.stats.corrupt == 2
+        assert cache.stats.misses == 2  # corrupt entries are also misses
+        # A plain absent key is a miss but not corrupt.
+        assert cache.get(cache_key("E1", {"i": 2}, 0)) is None
+        assert cache.stats.misses == 3
+        assert cache.stats.corrupt == 2
+
+    def test_clear_counts_evictions(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for index in range(2):
+            cache.put(cache_key("E1", {"i": index}, 0), {"i": index})
+        cache.clear()
+        assert cache.stats.evictions == 2
+
+    def test_describe_reports_disk_shape(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        shape = cache.describe()
+        assert shape == {"directory": str(tmp_path), "entries": 0, "total_bytes": 0}
+        cache.put(cache_key("E1", {}, 0), {"rows": [1]})
+        shape = cache.describe()
+        assert shape["entries"] == 1
+        assert shape["total_bytes"] > 0
+
+
 class TestDefaultLocation:
     def test_env_var_overrides(self, tmp_path, monkeypatch):
         monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "custom"))

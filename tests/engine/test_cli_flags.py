@@ -165,3 +165,95 @@ class TestRunBehaviour:
         code, out = run_cli(argv)
         assert code == 0
         assert out.count("cached result reused") == 2
+
+
+class TestObservabilityFlags:
+    def test_trace_and_metrics_parse(self, tmp_path):
+        args = build_parser().parse_args(
+            ["run", "E5", "--trace", str(tmp_path / "t.jsonl"), "--metrics"]
+        )
+        assert args.trace == tmp_path / "t.jsonl"
+        assert args.metrics
+        args = build_parser().parse_args(["run", "E5"])
+        assert args.trace is None
+        assert not args.metrics
+
+    def test_trace_writes_jsonl_with_request_roots(self, tmp_path):
+        from repro.obs import read_jsonl
+
+        trace_path = tmp_path / "trace.jsonl"
+        argv = [
+            "run", "E5", "--quick", "--cache-dir", str(tmp_path / "cache"),
+            "--trace", str(trace_path),
+        ]
+        code, out = run_cli(argv)
+        assert code == 0
+        assert f"wrote trace {trace_path}" in out
+        records = read_jsonl(trace_path)
+        assert records[0]["record"] == "trace"
+        spans = [r for r in records if r["record"] == "span"]
+        roots = [s for s in spans if s["name"] == "session.request"]
+        assert len(roots) == 1
+        assert roots[0]["attributes"]["experiment_id"] == "E5"
+        children = {s["name"] for s in spans if s["parent"] == roots[0]["id"]}
+        assert "backend.task" in children
+        counters = {r["name"]: r["value"] for r in records if r["record"] == "counter"}
+        assert counters["cache.miss"] == 1
+        assert counters["cache.write"] == 1
+
+    def test_metrics_prints_summary_table(self, tmp_path):
+        argv = [
+            "run", "E5", "--quick", "--no-cache",
+            "--cache-dir", str(tmp_path), "--metrics",
+        ]
+        code, out = run_cli(argv)
+        assert code == 0
+        assert "session.request" in out
+        assert "engine.chunks" in out
+
+    def test_tracing_does_not_change_rendered_results(self, tmp_path):
+        base = ["run", "E5", "--quick", "--seed", "5", "--no-cache"]
+        code_a, out_a = run_cli(base)
+        code_b, out_b = run_cli(base + ["--trace", str(tmp_path / "t.jsonl")])
+        assert code_a == code_b == 0
+        table_b = out_b.split("wrote trace")[0]
+        assert out_a == table_b
+
+    def test_traced_parallel_run_merges_worker_spans(self, tmp_path):
+        from repro.obs import read_jsonl
+
+        trace_path = tmp_path / "trace.jsonl"
+        argv = [
+            "run", "E3", "E5", "--quick", "--parallel", "2", "--no-cache",
+            "--trace", str(trace_path),
+        ]
+        code, _out = run_cli(argv)
+        assert code == 0
+        spans = [r for r in read_jsonl(trace_path) if r["record"] == "span"]
+        workers = [s for s in spans if s["name"] == "backend.worker"]
+        assert len(workers) == 2
+
+
+class TestCacheSubcommand:
+    def test_stats_reports_shape(self, tmp_path):
+        code, out = run_cli(["cache", "stats", "--cache-dir", str(tmp_path)])
+        assert code == 0
+        assert str(tmp_path) in out
+        assert "entries    : 0" in out
+
+    def test_clear_removes_entries(self, tmp_path):
+        code, _out = run_cli(
+            ["run", "E5", "--quick", "--cache-dir", str(tmp_path)]
+        )
+        assert code == 0
+        code, out = run_cli(["cache", "stats", "--cache-dir", str(tmp_path)])
+        assert "entries    : 1" in out
+        code, out = run_cli(["cache", "clear", "--cache-dir", str(tmp_path)])
+        assert code == 0
+        assert "removed 1 cache entries" in out
+        code, out = run_cli(["cache", "stats", "--cache-dir", str(tmp_path)])
+        assert "entries    : 0" in out
+
+    def test_action_is_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "nuke"])
