@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Service smoke check: single-flight over real HTTP.
+
+Starts `python -m repro serve` as a subprocess on an ephemeral port, submits
+the same E1 quick run from two concurrent clients, and asserts the service
+contract end to end:
+
+* exactly **one** backend execution (the `service.execute` span count at
+  `/v1/metrics` is the execution count);
+* both clients receive byte-identical result payloads;
+* the payload equals an inline `Session.run` at the same seed
+  (bit-identity across the wire);
+* the verdict is green.
+
+Exits nonzero on any violation — CI runs this as the service smoke job.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from concurrent.futures import ThreadPoolExecutor
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.api import Client, Session  # noqa: E402
+
+SEED = 0
+
+
+def submit_and_fetch(url: str):
+    client = Client(url, seed=SEED)
+    job = client.submit("E1", preset="quick")
+    job.wait()
+    return client.result_record(job.id)
+
+
+def main() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + os.pathsep + env.get("PYTHONPATH", "")
+    cache_dir = tempfile.mkdtemp(prefix="repro-smoke-cache-")
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0", "--cache-dir", cache_dir],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    try:
+        # serve() announces the bound address on its first output line.
+        announcement = server.stdout.readline().strip()
+        if not announcement.startswith("repro service listening on "):
+            raise SystemExit(f"unexpected server announcement: {announcement!r}")
+        url = announcement.rsplit(" ", 1)[-1]
+        print(f"server up at {url}")
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            records = list(pool.map(submit_and_fetch, [url, url]))
+        metrics = Client(url).metrics()
+    finally:
+        server.terminate()
+        server.wait(timeout=10)
+
+    failures = []
+
+    executions = metrics["spans"].get("service.execute", {}).get("count", 0)
+    print(f"service.execute spans: {executions}")
+    if executions != 1:
+        failures.append(f"expected exactly 1 execution, saw {executions}")
+
+    bodies = {json.dumps(record["result"], sort_keys=True) for record in records}
+    print(f"distinct result payloads: {len(bodies)}")
+    if len(bodies) != 1:
+        failures.append("the two clients received different payloads")
+
+    inline = Session(seed=SEED, cache=None).run("E1", preset="quick").result
+    if records[0]["result"] != inline.to_dict():
+        failures.append("service result differs from inline Session.run at the same seed")
+    else:
+        print("bit-identical with inline Session.run")
+
+    verdicts = {record["result"]["matches_paper"] for record in records}
+    print(f"verdicts green: {verdicts == {True}}")
+    if verdicts != {True}:
+        failures.append(f"non-green verdicts: {verdicts}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("service smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

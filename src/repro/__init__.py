@@ -41,7 +41,18 @@ the paper's framework on top of it:
   :class:`~repro.obs.TraceRecorder` with JSONL/summary sinks, and an
   export/merge contract that carries worker-process telemetry back to the
   parent; telemetry is observation-only — results are bit-identical with
-  it on or off (``Session(telemetry=...)``, ``--trace``/``--metrics``).
+  it on or off (``Session(telemetry=...)``, ``--trace``/``--metrics``);
+* :mod:`repro.errors` — the shared exception taxonomy: every error the
+  public surface raises derives from :class:`~repro.errors.ReproError`,
+  carries a stable machine-readable ``code`` and JSON-able ``details``,
+  and maps mechanically onto HTTP statuses for the service;
+* :mod:`repro.service` — the long-running experiment service: a
+  stdlib-``asyncio`` HTTP server (``python -m repro serve``) that accepts
+  wire-encoded run requests, deduplicates concurrent identical
+  submissions into a single execution (single-flight by canonical cache
+  key), streams job progress over SSE, and shares the result cache with
+  inline sessions — results are bit-identical either way; talk to it with
+  :class:`repro.api.Client`.
 
 Fast path vs. reference path
 ----------------------------
@@ -84,7 +95,7 @@ True
 True
 """
 
-__version__ = "2.1.0"
+__version__ = "2.2.0"
 
 __all__ = [
     "local",

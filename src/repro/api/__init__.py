@@ -12,7 +12,12 @@ The facade every caller (the CLI included) goes through:
   submission order;
 * the spec registry re-exports — :data:`REGISTRY`,
   :class:`~repro.harness.registry.ExperimentSpec`, and the validation
-  errors, so ``import repro.api`` is a one-stop import.
+  errors, so ``import repro.api`` is a one-stop import;
+* :mod:`repro.api.wire` — the versioned wire format every process and
+  network boundary speaks (batch manifests, the service protocol);
+* :class:`Client` — the same surface over HTTP against a running
+  ``repro serve`` service (submit / stream / wait / result), bit-identical
+  to an inline session at the same seed.
 
 Quickstart
 ----------
@@ -33,6 +38,7 @@ from repro.api.backends import (
     ProcessPoolBackend,
     resolve_backend,
 )
+from repro.api.client import Client, RemoteJob
 from repro.api.session import (
     PRESET_FULL,
     PRESET_QUICK,
@@ -59,6 +65,7 @@ __all__ = [
     "PRESET_QUICK",
     "REGISTRY",
     "BatchBackend",
+    "Client",
     "ExecutionBackend",
     "ExperimentRegistry",
     "ExperimentSpec",
@@ -68,6 +75,7 @@ __all__ = [
     "ProcessPoolBackend",
     "ProgressCallback",
     "ProgressEvent",
+    "RemoteJob",
     "RunReport",
     "RunRequest",
     "Session",

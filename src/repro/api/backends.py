@@ -28,10 +28,9 @@ without pickling closures.
 
 from __future__ import annotations
 
-import json
 import os
 import time
-from typing import Dict, Iterator, List, Optional, Sequence, Union
+from typing import Dict, Iterator, Optional, Sequence, Union
 
 from repro.engine.parallel import ParallelSweepRunner
 from repro.harness.results import ExperimentResult
@@ -192,11 +191,12 @@ class ProcessPoolBackend(ExecutionBackend):
 class BatchBackend(ExecutionBackend):
     """Serialized-batch execution.
 
-    The batch is encoded to a JSON manifest up front — any unserializable
-    request fails loudly at submission, not halfway through a shard — and the
-    *decoded* manifest is what actually runs.  ``last_manifest`` keeps the
-    most recent encoding for inspection and for handing off to external
-    queue runners.
+    The batch is encoded to a :mod:`repro.api.wire` manifest up front — any
+    unserializable request fails loudly at submission, not halfway through a
+    shard — and the *decoded* manifest is what actually runs.
+    ``last_manifest`` keeps the most recent encoding for inspection and for
+    handing off to external queue runners; the experiment service speaks the
+    same wire records, so there is one serialization, not two.
     """
 
     name = "batch"
@@ -207,17 +207,22 @@ class BatchBackend(ExecutionBackend):
     def execute(
         self, payloads: Sequence[Dict[str, object]], registry=None
     ) -> Iterator[ExperimentResult]:
-        manifest = json.dumps({"schema": 1, "requests": list(payloads)}, sort_keys=True)
+        # Local import: backends is imported by repro.api.session, which the
+        # wire module needs for RunRequest — the one deliberate cycle in the
+        # package, broken here.
+        from repro.api.wire import decode_manifest, encode_manifest
+
+        manifest = encode_manifest(payloads)
         self.last_manifest = manifest
-        decoded: List[Dict[str, object]] = json.loads(manifest)["requests"]
+        requests = decode_manifest(manifest)
         recorder = get_recorder()
-        for payload in decoded:
+        for request in requests:
             with recorder.span(
                 "backend.task",
                 backend=self.name,
-                experiment_id=str(payload.get("experiment_id")),
+                experiment_id=request.experiment_id,
             ):
-                record = execute_payload(payload, registry)
+                record = execute_payload(request.to_payload(), registry)
             yield _result_from(record)
 
 

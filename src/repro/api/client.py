@@ -1,0 +1,235 @@
+"""A stdlib HTTP client for the experiment service (:mod:`repro.service`).
+
+:class:`Client` mirrors the :class:`~repro.api.session.Session` surface over
+the wire: ``request()`` resolves presets/seed/engine through the spec schema
+*client-side* (the same resolution an inline session applies, so a run
+submitted through the service is bit-identical to ``Session.run`` at the
+same seed), ``submit()`` posts the wire-encoded request, ``stream()``
+follows the job's SSE progress events, and ``result()`` decodes the wire
+result back into an :class:`~repro.harness.results.ExperimentResult`.
+
+Server-side failures come back as taxonomy payloads
+(:mod:`repro.errors`); the client re-raises them as their original
+exception types — ``except UnknownParameterError`` works identically
+against a local session and a remote service.
+
+Everything is ``urllib`` — no dependencies, matching the service's
+stdlib-only contract.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, Iterator, List, Optional
+
+from repro.api.session import PRESET_FULL, RunRequest, Session
+from repro.api.wire import decode_result, encode_request
+from repro.errors import ReproError, error_class_for_code
+from repro.harness.registry import ExperimentRegistry
+from repro.harness.results import ExperimentResult
+
+__all__ = ["Client", "RemoteJob"]
+
+#: Job states the service reports as finished.
+_TERMINAL_STATES = ("done", "failed")
+
+
+def _raise_remote(status: int, payload: Dict[str, object]) -> None:
+    """Re-raise a server error payload as its original exception type.
+
+    The concrete class comes from the taxonomy registry by wire ``code``;
+    construction bypasses subclass ``__init__`` signatures (which take
+    domain arguments, not payloads) and restores the message/details
+    directly, so ``isinstance`` and ``except`` clauses behave exactly as
+    they would locally.
+    """
+    code = str(payload.get("error", "internal"))
+    cls = error_class_for_code(code) or ReproError
+    error = cls.__new__(cls)
+    Exception.__init__(error, str(payload.get("message", f"HTTP {status}")))
+    error.details = dict(payload.get("details") or {})
+    raise error
+
+
+class RemoteJob:
+    """A handle on one submitted job: its id plus the latest known record."""
+
+    def __init__(self, client: "Client", record: Dict[str, object]) -> None:
+        self._client = client
+        self.record = record
+        # Submission-time provenance: later refreshes return the plain job
+        # record, which no longer carries the per-submission flag.
+        self._deduplicated = bool(record.get("deduplicated", False))
+
+    @property
+    def id(self) -> str:
+        return str(self.record["job_id"])
+
+    @property
+    def state(self) -> str:
+        return str(self.record["state"])
+
+    @property
+    def deduplicated(self) -> bool:
+        """Whether this submission joined an already in-flight identical job
+        (the single-flight path) instead of starting an execution."""
+        return self._deduplicated
+
+    @property
+    def from_cache(self) -> bool:
+        return bool(self.record.get("from_cache", False))
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in _TERMINAL_STATES
+
+    def refresh(self) -> "RemoteJob":
+        self.record = self._client.status(self.id)
+        return self
+
+    def stream(self) -> Iterator[Dict[str, object]]:
+        return self._client.stream(self.id)
+
+    def wait(self, timeout: Optional[float] = None) -> "RemoteJob":
+        self.record = self._client.wait(self.id, timeout=timeout)
+        return self
+
+    def result(self) -> ExperimentResult:
+        return self._client.result(self.id)
+
+
+class Client:
+    """Talk to a running experiment service.
+
+    ``seed``/``engine``/``precision``/``confidence`` configure *request
+    resolution* exactly as they do on :class:`Session` — they are applied to
+    the parameter schema before submission, so the service receives fully
+    resolved parameters and two clients with the same knobs submit
+    identical (hence deduplicated) requests.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        seed: Optional[int] = None,
+        engine: Optional[str] = None,
+        precision: Optional[float] = None,
+        confidence: Optional[float] = None,
+        registry: Optional[ExperimentRegistry] = None,
+        timeout: float = 60.0,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        # Request resolution only — never executes, never caches.
+        self._resolver = Session(
+            seed=seed,
+            engine=engine,
+            precision=precision,
+            confidence=confidence,
+            cache=None,
+            registry=registry,
+        )
+
+    # -- transport ------------------------------------------------------ #
+    def _call(self, method: str, path: str, body: Optional[Dict[str, object]] = None):
+        data = json.dumps(body).encode("utf8") if body is not None else None
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf8"))
+        except urllib.error.HTTPError as error:
+            try:
+                payload = json.loads(error.read().decode("utf8"))
+            except (ValueError, UnicodeDecodeError):
+                payload = {"error": "internal", "message": f"HTTP {error.code}"}
+            _raise_remote(error.code, payload)
+
+    # -- request building ----------------------------------------------- #
+    def request(
+        self, experiment_id: str, preset: str = PRESET_FULL, **overrides: object
+    ) -> RunRequest:
+        """Resolve a run request exactly as an inline session would."""
+        return self._resolver.request(experiment_id, preset=preset, **overrides)
+
+    # -- endpoints ------------------------------------------------------- #
+    def health(self) -> Dict[str, object]:
+        return self._call("GET", "/v1/health")
+
+    def experiments(self) -> List[Dict[str, object]]:
+        return list(self._call("GET", "/v1/experiments")["experiments"])
+
+    def metrics(self) -> Dict[str, object]:
+        return self._call("GET", "/v1/metrics")
+
+    def submit(
+        self,
+        request_or_id,
+        preset: str = PRESET_FULL,
+        **overrides: object,
+    ) -> RemoteJob:
+        """Submit a :class:`RunRequest` (or an experiment id plus overrides,
+        resolved via :meth:`request`); returns the job handle."""
+        if isinstance(request_or_id, RunRequest):
+            request = request_or_id
+        else:
+            request = self.request(str(request_or_id), preset=preset, **overrides)
+        record = self._call("POST", "/v1/jobs", body=encode_request(request))
+        return RemoteJob(self, record)
+
+    def status(self, job_id: str) -> Dict[str, object]:
+        return self._call("GET", f"/v1/jobs/{job_id}")
+
+    def result(self, job_id: str) -> ExperimentResult:
+        return decode_result(self._call("GET", f"/v1/jobs/{job_id}/result"))
+
+    def result_record(self, job_id: str) -> Dict[str, object]:
+        """The raw wire result record (result body + provenance)."""
+        return self._call("GET", f"/v1/jobs/{job_id}/result")
+
+    def stream(self, job_id: str) -> Iterator[Dict[str, object]]:
+        """The job's progress events as decoded SSE ``data`` payloads:
+        replayed history first, then live until the terminal event."""
+        request = urllib.request.Request(f"{self.base_url}/v1/jobs/{job_id}/events")
+        try:
+            response = urllib.request.urlopen(request, timeout=self.timeout)
+        except urllib.error.HTTPError as error:
+            try:
+                payload = json.loads(error.read().decode("utf8"))
+            except (ValueError, UnicodeDecodeError):
+                payload = {"error": "internal", "message": f"HTTP {error.code}"}
+            _raise_remote(error.code, payload)
+            return  # unreachable; _raise_remote always raises
+        with response:
+            for raw in response:
+                line = raw.decode("utf8").rstrip("\n").rstrip("\r")
+                if line.startswith("data:"):
+                    yield json.loads(line[len("data:"):].strip())
+
+    def wait(self, job_id: str, timeout: Optional[float] = None) -> Dict[str, object]:
+        """Block until a job is terminal (following its event stream, which
+        needs no polling) and return the final job record."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for event in self.stream(job_id):
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(f"job {job_id} not terminal after {timeout:.1f}s")
+            if event.get("event") in ("cached", "done", "failed"):
+                break
+        return self.status(job_id)
+
+    def run(
+        self, experiment_id: str, preset: str = PRESET_FULL, **overrides: object
+    ) -> ExperimentResult:
+        """Submit, wait, fetch: the one-call remote equivalent of
+        ``Session.run`` (bit-identical at the same seed)."""
+        job = self.submit(experiment_id, preset=preset, **overrides)
+        if not job.terminal:
+            job.wait()
+        return job.result()

@@ -81,9 +81,13 @@ class RunRequest:
         parameters: Mapping[str, object],
         preset: str = PRESET_FULL,
     ) -> "RunRequest":
+        # Sorted by name: two requests describing the same logical run
+        # compare equal regardless of construction order, and the wire
+        # encoding (repro.api.wire, canonical sorted-keys JSON) round-trips
+        # to an *equal* request, not merely an equivalent one.
         frozen = tuple(
             (name, tuple(value) if isinstance(value, list) else value)
-            for name, value in parameters.items()
+            for name, value in sorted(parameters.items(), key=lambda item: item[0])
         )
         return cls(experiment_id=experiment_id, parameters=frozen, preset=preset)
 

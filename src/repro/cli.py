@@ -9,6 +9,7 @@ Usage::
     python -m repro run all --quick --backend batch
     python -m repro run all --quick --trace trace.jsonl --metrics
     python -m repro cache stats
+    python -m repro serve --port 8765
     python -m repro report --results benchmarks/results --output EXPERIMENTS.md
 
 ``run`` resolves the selected experiments of DESIGN.md's index against the
@@ -17,7 +18,10 @@ through a :class:`~repro.api.Session`, prints their tables, and optionally
 writes the JSON artifacts; ``report`` renders a directory of artifacts into
 the EXPERIMENTS.md format.  ``list`` prints each spec's parameter schema,
 quick preset, and capability tags.  ``cache`` inspects (``stats``) or empties
-(``clear``) the on-disk result cache without running anything.
+(``clear``) the on-disk result cache without running anything.  ``serve``
+starts the long-running experiment service (:mod:`repro.service`) —
+single-flight deduplicating job server with SSE progress streaming; pair it
+with :class:`repro.api.Client`.
 
 Every knob is session configuration, not CLI logic: ``--quick`` selects the
 spec's ``quick`` preset, ``--seed`` reseeds every experiment whose spec
@@ -186,6 +190,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="result cache directory (default: $REPRO_CACHE_DIR or ./.repro-cache)",
     )
 
+    serve_parser = subparsers.add_parser(
+        "serve", help="start the long-running experiment service (HTTP + SSE)"
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="address to bind (default: 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8765, help="port to bind (default: 8765; 0 for ephemeral)"
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="executor threads running experiments (default: 4)",
+    )
+    serve_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="serve without the on-disk result cache (every submission executes)",
+    )
+    serve_parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="result cache directory (default: $REPRO_CACHE_DIR or ./.repro-cache)",
+    )
+
     report_parser = subparsers.add_parser(
         "report", help="render a directory of JSON artifacts as EXPERIMENTS.md"
     )
@@ -287,11 +319,33 @@ def _command_cache(args: argparse.Namespace, stream) -> int:
         removed = cache.clear()
         _say(stream, f"removed {removed} cache entries from {cache.directory}")
         return 0
+    # describe() reads zeros (and exits 0) for a missing or empty directory —
+    # inspecting a cache must never require one to exist.
     shape = cache.describe()
     _say(stream, f"directory  : {shape['directory']}")
     _say(stream, f"entries    : {shape['entries']}")
     _say(stream, f"total bytes: {shape['total_bytes']}")
+    _say(stream, f"shards     : {shape['shards']}")
     return 0
+
+
+def _command_serve(args: argparse.Namespace, stream) -> int:
+    # Imported here so the plain run/report paths never pay for asyncio.
+    from repro.service import serve
+
+    if args.no_cache:
+        cache = None
+    elif args.cache_dir is not None:
+        cache = args.cache_dir
+    else:
+        cache = True
+    return serve(
+        host=args.host,
+        port=args.port,
+        cache=cache,
+        max_workers=args.workers,
+        stream=stream,
+    )
 
 
 def _command_report(args: argparse.Namespace, stream) -> int:
@@ -318,6 +372,8 @@ def main(argv: Optional[Sequence[str]] = None, stream=None) -> int:
         return _command_run(args, stream)
     if args.command == "cache":
         return _command_cache(args, stream)
+    if args.command == "serve":
+        return _command_serve(args, stream)
     if args.command == "report":
         return _command_report(args, stream)
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover

@@ -18,8 +18,21 @@ parameters and seed.  :class:`ResultCache` memoises them on disk:
   new-style keys can never collide.
 * **Location** — the directory given explicitly, else the
   ``REPRO_CACHE_DIR`` environment variable, else ``.repro-cache/`` under the
-  current working directory.  One ``<key>.json`` file per entry, holding the
-  key fields next to the payload for inspectability.
+  current working directory.  Entries live in a **sharded two-level layout**
+  — ``<dir>/<key[:2]>/<key>.json`` — so a hot cache never concentrates
+  thousands of files in one directory; entries written by older releases at
+  the flat ``<dir>/<key>.json`` location remain readable.
+* **Concurrency** — writes are atomic (unique tempfile in the target shard +
+  ``os.replace``), so concurrent writers — threads of the experiment
+  service, parallel CLI runs, or separate processes — each publish a
+  complete entry and readers never observe a torn file.  Per-instance
+  traffic counters are lock-protected.
+* **Eviction** — optional and off by default: ``ttl_seconds`` expires
+  entries by age, ``max_entries``/``max_bytes`` bound the cache size with
+  least-recently-*used* eviction (hits refresh an entry's mtime).  Evictions
+  are accounted in :attr:`ResultCache.stats` (:class:`CacheStats`) and the
+  ambient :mod:`repro.obs` counters, so the service's ``/metrics`` endpoint
+  sees them.
 
 The cache stores plain JSON payloads (the CLI stores
 :meth:`~repro.harness.results.ExperimentResult.to_dict` dumps) and is safe
@@ -32,10 +45,11 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Dict, Mapping, Optional
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 from repro.obs import get_recorder
 
@@ -54,6 +68,9 @@ REQUEST_KEY_SCHEMA = 2
 
 #: Environment variable overriding the default cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Leading hex digits of the key that name an entry's shard directory.
+SHARD_CHARS = 2
 
 
 def default_cache_dir() -> Path:
@@ -135,7 +152,8 @@ class CacheStats:
     ``corrupt`` counts the subset of misses caused by an *existing* entry
     that failed to parse or had the wrong shape (these are also misses);
     ``writes`` counts :meth:`ResultCache.put` calls and ``evictions`` the
-    entries removed by :meth:`ResultCache.clear`.
+    entries removed by :meth:`ResultCache.clear`, TTL expiry, or the
+    LRU size bound.
     """
 
     hits: int = 0
@@ -149,28 +167,70 @@ class CacheStats:
 
 
 class ResultCache:
-    """A directory of content-addressed JSON results.
+    """A sharded directory of content-addressed JSON results.
 
     Parameters
     ----------
     directory:
         Cache directory; defaults to :func:`default_cache_dir`.  Created
         lazily on the first :meth:`put`.
+    ttl_seconds:
+        When set, entries older than this (by mtime) read as misses and are
+        deleted on sight; ``None`` (default) disables expiry.
+    max_entries / max_bytes:
+        When set, :meth:`put` evicts least-recently-used entries (hits
+        refresh recency) until the cache fits the bound; ``None`` (default)
+        leaves the cache unbounded.
 
     Every instance tracks its own traffic in :attr:`stats`
-    (:class:`CacheStats`), and mirrors the same signals into the ambient
-    :mod:`repro.obs` recorder: ``cache.hit``/``cache.miss``/``cache.write``/
-    ``cache.corrupt`` counters plus a ``cache.lookup_seconds`` latency
-    histogram (lookups are additionally wrapped in ``cache.lookup`` /
-    ``cache.write`` spans when a trace recorder is installed).
+    (:class:`CacheStats`, lock-protected so the experiment service's worker
+    threads can share one instance), and mirrors the same signals into the
+    ambient :mod:`repro.obs` recorder: ``cache.hit``/``cache.miss``/
+    ``cache.write``/``cache.corrupt``/``cache.evict`` counters plus a
+    ``cache.lookup_seconds`` latency histogram (lookups are additionally
+    wrapped in ``cache.lookup`` / ``cache.write`` spans when a trace
+    recorder is installed).
     """
 
-    def __init__(self, directory: Optional[Path] = None) -> None:
+    def __init__(
+        self,
+        directory: Optional[Path] = None,
+        ttl_seconds: Optional[float] = None,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ) -> None:
         self.directory = Path(directory) if directory is not None else default_cache_dir()
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError("ttl_seconds must be positive (or None to disable expiry)")
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be at least 1 (or None for unbounded)")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be at least 1 (or None for unbounded)")
+        self.ttl_seconds = ttl_seconds
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
         self.stats = CacheStats()
+        self._stats_lock = threading.Lock()
 
+    # ------------------------------------------------------------------ #
     def path_for(self, key: str) -> Path:
+        """The sharded on-disk location of a key (where writes land)."""
+        return self.directory / key[:SHARD_CHARS] / f"{key}.json"
+
+    def _legacy_path(self, key: str) -> Path:
+        """The flat pre-shard location (read fallback for old caches)."""
         return self.directory / f"{key}.json"
+
+    def _iter_entries(self) -> Iterator[Path]:
+        """Every entry file: the sharded layout plus legacy flat files."""
+        if not self.directory.is_dir():
+            return
+        yield from self.directory.glob("*.json")
+        yield from self.directory.glob(f"{'?' * SHARD_CHARS}/*.json")
+
+    def _count(self, field: str, value: int = 1) -> None:
+        with self._stats_lock:
+            setattr(self.stats, field, getattr(self.stats, field) + value)
 
     # ------------------------------------------------------------------ #
     def get(self, key: str) -> Optional[Dict[str, object]]:
@@ -180,11 +240,24 @@ class ResultCache:
         with recorder.span("cache.lookup", key=key[:16]) as span:
             started = time.perf_counter()
             path = self.path_for(key)
+            if not path.is_file():
+                legacy = self._legacy_path(key)
+                if legacy.is_file():
+                    path = legacy
             entry: object = None
             corrupt = False
+            expired = False
             try:
-                with path.open("r", encoding="utf8") as handle:
-                    entry = json.load(handle)
+                if self.ttl_seconds is not None:
+                    age = time.time() - path.stat().st_mtime
+                    if age > self.ttl_seconds:
+                        expired = True
+                        if self._remove_entry(path):
+                            self._count("evictions")
+                            recorder.counter("cache.evict")
+                if not expired:
+                    with path.open("r", encoding="utf8") as handle:
+                        entry = json.load(handle)
             except FileNotFoundError:
                 pass
             except (OSError, UnicodeDecodeError, json.JSONDecodeError):
@@ -197,14 +270,20 @@ class ResultCache:
                 corrupt = True
             recorder.histogram("cache.lookup_seconds", time.perf_counter() - started)
             if corrupt:
-                self.stats.corrupt += 1
+                self._count("corrupt")
                 recorder.counter("cache.corrupt")
             if payload is None:
-                self.stats.misses += 1
+                self._count("misses")
                 recorder.counter("cache.miss")
                 span.annotate(outcome="corrupt" if corrupt else "miss")
                 return None
-            self.stats.hits += 1
+            if self.max_entries is not None or self.max_bytes is not None:
+                # Refresh recency so the LRU bound keeps hot entries.
+                try:
+                    os.utime(path, None)
+                except OSError:
+                    pass
+            self._count("hits")
             recorder.counter("cache.hit")
             span.annotate(outcome="hit")
             return payload
@@ -219,17 +298,18 @@ class ResultCache:
         parameters, ...) are saved alongside for human inspection."""
         recorder = get_recorder()
         with recorder.span("cache.write", key=key[:16]):
-            self.directory.mkdir(parents=True, exist_ok=True)
             path = self.path_for(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
             entry = {
                 "key": key,
                 "key_fields": _canonical(dict(key_fields)) if key_fields is not None else None,
                 "payload": dict(payload),
             }
-            # Unique temp name + atomic rename: concurrent writers of the same
-            # key each publish a complete entry, last one wins.
+            # Unique temp name in the target shard + atomic rename:
+            # concurrent writers of the same key each publish a complete
+            # entry, last one wins, and readers never see a torn file.
             descriptor, tmp_name = tempfile.mkstemp(
-                dir=self.directory, prefix=f".{key[:16]}-", suffix=".tmp"
+                dir=path.parent, prefix=f".{key[:16]}-", suffix=".tmp"
             )
             try:
                 with os.fdopen(descriptor, "w", encoding="utf8") as handle:
@@ -241,42 +321,108 @@ class ResultCache:
                 except OSError:
                     pass
                 raise
-            self.stats.writes += 1
+            self._count("writes")
             recorder.counter("cache.write")
+        if self.max_entries is not None or self.max_bytes is not None or (
+            self.ttl_seconds is not None
+        ):
+            self.evict()
         return path
 
-    def __contains__(self, key: str) -> bool:
-        return self.path_for(key).is_file()
+    def _remove_entry(self, path: Path) -> bool:
+        """Best-effort unlink (a concurrent evictor may win the race)."""
+        try:
+            path.unlink()
+            return True
+        except OSError:
+            return False
 
-    def __len__(self) -> int:
+    def evict(self, now: Optional[float] = None) -> int:
+        """Apply the eviction policy; returns the number of entries removed.
+
+        TTL-expired entries go first, then the least-recently-used entries
+        until both ``max_entries`` and ``max_bytes`` are satisfied.  Safe to
+        call concurrently: racing evictors simply find fewer files.
+        """
         if not self.directory.is_dir():
             return 0
-        return sum(1 for _ in self.directory.glob("*.json"))
+        now = time.time() if now is None else now
+        survivors: List[Tuple[float, int, Path]] = []
+        removed = 0
+        for path in self._iter_entries():
+            try:
+                status = path.stat()
+            except OSError:
+                continue
+            if self.ttl_seconds is not None and now - status.st_mtime > self.ttl_seconds:
+                if self._remove_entry(path):
+                    removed += 1
+                continue
+            survivors.append((status.st_mtime, status.st_size, path))
+        survivors.sort(key=lambda item: item[0])  # oldest first
+        count = len(survivors)
+        total = sum(size for _, size, _ in survivors)
+        index = 0
+        while index < count and (
+            (self.max_entries is not None and count - index > self.max_entries)
+            or (self.max_bytes is not None and total > self.max_bytes)
+        ):
+            _, size, path = survivors[index]
+            if self._remove_entry(path):
+                removed += 1
+            total -= size
+            index += 1
+        if removed:
+            self._count("evictions", removed)
+            get_recorder().counter("cache.evict", removed)
+        return removed
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file() or self._legacy_path(key).is_file()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._iter_entries())
 
     def clear(self) -> int:
         """Delete every entry; returns the number of entries removed."""
         removed = 0
-        if self.directory.is_dir():
-            for path in self.directory.glob("*.json"):
-                path.unlink()
+        for path in self._iter_entries():
+            if self._remove_entry(path):
                 removed += 1
-        self.stats.evictions += removed
+        if self.directory.is_dir():
+            for shard in self.directory.glob("?" * SHARD_CHARS):
+                if shard.is_dir():
+                    try:
+                        shard.rmdir()
+                    except OSError:
+                        pass  # non-empty (e.g. an in-flight temp file)
+        self._count("evictions", removed)
         return removed
 
     def describe(self) -> Dict[str, object]:
         """On-disk shape of the cache (for ``python -m repro cache stats``):
-        directory, entry count, and total payload bytes."""
+        directory, entry count, total payload bytes, shard count, and the
+        configured eviction policy.  Robust to a missing or empty directory
+        — every count reads as zero."""
         entries = 0
         total_bytes = 0
-        if self.directory.is_dir():
-            for path in self.directory.glob("*.json"):
-                entries += 1
-                try:
-                    total_bytes += path.stat().st_size
-                except OSError:
-                    pass
+        shards = set()
+        for path in self._iter_entries():
+            entries += 1
+            if path.parent != self.directory:
+                shards.add(path.parent.name)
+            try:
+                total_bytes += path.stat().st_size
+            except OSError:
+                pass
         return {
             "directory": str(self.directory),
             "entries": entries,
             "total_bytes": total_bytes,
+            "shards": len(shards),
+            "policy": {
+                "ttl_seconds": self.ttl_seconds,
+                "max_entries": self.max_entries,
+                "max_bytes": self.max_bytes,
+            },
         }

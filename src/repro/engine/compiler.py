@@ -57,6 +57,7 @@ from typing import TYPE_CHECKING, Callable, Dict, Hashable, List, Optional, Tupl
 
 import numpy as np
 
+from repro.errors import ReproError
 from repro.obs import get_recorder
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -261,9 +262,15 @@ MAX_PROGRAM_DRAWS = 64
 MAX_PROGRAM_NODES = 4096
 
 
-class ProgramCompilationError(ValueError):
+class ProgramCompilationError(ReproError, ValueError):
     """A vote program exceeds what the engine IR can express (too many
-    sequential draws or too many lowered nodes)."""
+    sequential draws or too many lowered nodes).
+
+    Part of the :mod:`repro.errors` taxonomy (HTTP 422: the request was
+    well-formed but names a program the engine cannot run)."""
+
+    code = "program_compilation"
+    http_status = 422
 
 
 @dataclass(frozen=True)

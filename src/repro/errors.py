@@ -1,0 +1,133 @@
+"""The unified error taxonomy of the reproduction stack.
+
+Every error the public layers raise deliberately derives from
+:class:`ReproError`, which carries three things a transport can use
+*mechanically* — no string matching, no per-exception special cases:
+
+* ``code`` — a stable machine-readable identifier (``"unknown_parameter"``,
+  ``"job_not_found"``, ...) that survives serialization;
+* ``http_status`` — the status code an HTTP layer maps the error to;
+* :meth:`ReproError.to_payload` — a JSON-able dict (``error``/``message``/
+  ``details``) that round-trips over any wire.
+
+Concrete errors live where they belong (spec-validation errors in
+:mod:`repro.harness.registry`, compilation errors in
+:mod:`repro.engine.compiler`) but share this base; the service-shaped errors
+(:class:`JobNotFound`, :class:`ServiceUnavailable`) and the wire-format error
+(:class:`WireFormatError`) are defined here because they belong to no deeper
+layer.  Existing Python bases are preserved via multiple inheritance
+(``SpecValidationError`` is still a ``ValueError``), so pre-taxonomy callers
+catching stdlib exception types keep working.
+
+:func:`error_payload` folds *any* exception into the same payload shape
+(foreign exceptions become ``code="internal"``, status 500), which is what
+lets :mod:`repro.service.http` map every failure to a response in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, Type
+
+__all__ = [
+    "ReproError",
+    "JobNotFound",
+    "ServiceUnavailable",
+    "WireFormatError",
+    "error_payload",
+    "error_class_for_code",
+]
+
+
+class ReproError(Exception):
+    """Base of every deliberate error in the stack.
+
+    Subclasses override the class attributes ``code`` (stable identifier)
+    and ``http_status`` (the mechanical HTTP mapping); instances may attach
+    JSON-able ``details`` describing the specific failure.
+    """
+
+    code: str = "internal"
+    http_status: int = 500
+
+    def __init__(self, message: str = "", **details: object) -> None:
+        super().__init__(message)
+        self.details: Dict[str, object] = dict(details)
+
+    def to_payload(self) -> Dict[str, object]:
+        """The JSON-able wire form: ``{error, message, details}``."""
+        return {
+            "error": self.code,
+            "message": str(self),
+            "details": dict(self.details),
+        }
+
+
+class JobNotFound(ReproError, LookupError):
+    """A job id unknown to the service (expired, mistyped, or never issued)."""
+
+    code = "job_not_found"
+    http_status = 404
+
+    def __init__(self, job_id: str) -> None:
+        super().__init__(f"unknown job {job_id!r}", job_id=job_id)
+
+
+class ServiceUnavailable(ReproError):
+    """The service cannot take the request (draining, closed, or saturated)."""
+
+    code = "service_unavailable"
+    http_status = 503
+
+
+class WireFormatError(ReproError, ValueError):
+    """A wire record violates the versioned encoding contract
+    (:mod:`repro.api.wire`): wrong schema version, wrong kind, or a missing /
+    ill-shaped field."""
+
+    code = "wire_format"
+    http_status = 400
+
+
+def error_payload(error: BaseException) -> Tuple[int, Dict[str, object]]:
+    """The ``(http_status, payload)`` of any exception.
+
+    :class:`ReproError` instances map through their own taxonomy entry;
+    everything else is an internal error (500) whose payload still names the
+    exception type, so a foreign failure is debuggable without leaking a
+    traceback over the wire.
+    """
+    if isinstance(error, ReproError):
+        return error.http_status, error.to_payload()
+    return 500, {
+        "error": "internal",
+        "message": str(error) or error.__class__.__name__,
+        "details": {"exception": error.__class__.__name__},
+    }
+
+
+def error_class_for_code(code: str) -> Optional[Type[ReproError]]:
+    """The :class:`ReproError` subclass registered for a wire ``code`` (used
+    by :class:`repro.api.Client` to re-raise server-side errors as their
+    original types), or ``None`` for unknown/internal codes."""
+    # Imported lazily: the concrete errors live in deeper layers that import
+    # this module themselves.
+    from repro.engine.compiler import ProgramCompilationError
+    from repro.harness.registry import (
+        ParameterValueError,
+        SpecValidationError,
+        UnknownParameterError,
+    )
+
+    classes: Tuple[Type[ReproError], ...] = (
+        UnknownParameterError,
+        ParameterValueError,
+        SpecValidationError,
+        ProgramCompilationError,
+        JobNotFound,
+        ServiceUnavailable,
+        WireFormatError,
+    )
+    for cls in classes:
+        if cls.code == code:
+            return cls
+    return None

@@ -37,6 +37,7 @@ from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, 
 
 from repro.engine.adapters import ENGINE_CHOICES
 from repro.engine.cache import request_cache_key
+from repro.errors import ReproError
 from repro.harness import experiments as _experiments
 from repro.harness.results import ExperimentResult
 
@@ -59,24 +60,38 @@ PRESET_FULL = "full"
 PRESET_QUICK = "quick"
 
 
-class SpecValidationError(ValueError):
-    """A parameter mapping does not satisfy an experiment's schema."""
+class SpecValidationError(ReproError, ValueError):
+    """A parameter mapping does not satisfy an experiment's schema.
+
+    Part of the :mod:`repro.errors` taxonomy (HTTP 400) while remaining a
+    ``ValueError`` for pre-taxonomy callers.
+    """
+
+    code = "spec_validation"
+    http_status = 400
 
 
 class UnknownParameterError(SpecValidationError):
     """A parameter name not declared by the experiment's schema."""
+
+    code = "unknown_parameter"
 
     def __init__(self, experiment_id: str, names: Sequence[str], known: Sequence[str]) -> None:
         self.experiment_id = experiment_id
         self.names = tuple(names)
         super().__init__(
             f"unknown parameter(s) for {experiment_id}: {', '.join(sorted(names))}; "
-            f"declared parameters: {', '.join(known)}"
+            f"declared parameters: {', '.join(known)}",
+            experiment_id=experiment_id,
+            names=sorted(names),
+            known=list(known),
         )
 
 
 class ParameterValueError(SpecValidationError):
     """A declared parameter received a value of the wrong shape or type."""
+
+    code = "parameter_value"
 
 
 @dataclass(frozen=True)

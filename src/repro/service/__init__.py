@@ -1,0 +1,37 @@
+"""A long-running experiment service over :mod:`repro.api`.
+
+Exposes the harness as a deduplicating job server: wire-encoded
+RunRequests come in over HTTP (``POST /v1/jobs``), identical in-flight
+requests collapse into **one** execution by canonical cache key
+(single-flight), results land in the shared on-disk
+:mod:`repro.engine.cache`, and progress streams out as Server-Sent
+Events using the same ``start``/``cached``/``done`` taxonomy as
+:class:`repro.api.Session` progress callbacks (plus ``failed`` for the
+error path).  Results are bit-identical to an inline ``Session.run`` at
+the same seed — the service executes through the very same
+:func:`~repro.api.backends.execute_payload` entry point.
+
+Layers:
+
+* :mod:`repro.service.jobs` — :class:`JobManager`: the asyncio-owned job
+  table, single-flight dedup, worker-pool execution, event logs,
+  telemetry (``service.queue_wait`` / ``service.execute`` spans).
+* :mod:`repro.service.http` — :class:`ExperimentService`: the stdlib
+  asyncio HTTP/1.1 + SSE front end, mechanical error mapping through
+  :func:`repro.errors.error_payload`; :class:`ServiceThread` for
+  in-process hosting; :func:`serve` behind ``python -m repro serve``.
+
+The matching client is :class:`repro.api.Client`.
+"""
+
+from repro.service.http import ExperimentService, ServiceThread, serve
+from repro.service.jobs import Job, JobManager, JobState
+
+__all__ = [
+    "ExperimentService",
+    "ServiceThread",
+    "serve",
+    "Job",
+    "JobManager",
+    "JobState",
+]

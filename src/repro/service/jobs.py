@@ -1,0 +1,396 @@
+"""The asynchronous job queue behind the experiment service.
+
+:class:`JobManager` owns all mutable service state and runs **entirely on
+one asyncio event loop**; experiment execution happens on a bounded thread
+pool via :func:`~repro.api.backends.execute_payload` (the same worker entry
+point every :mod:`repro.api` backend uses), so results are bit-identical to
+an inline :meth:`repro.api.Session.run` at the same seed.
+
+Single-flight
+-------------
+Jobs are deduplicated by the request's **canonical cache key** (the same
+spec-derived key the result cache uses).  While a job for a key is in
+flight, every further submission of an identical request joins it as a
+subscriber instead of executing again: N concurrent identical submissions →
+exactly one execution, N subscribers, N bit-identical results.  Once a job
+reaches a terminal state the key leaves the in-flight table — subsequent
+submissions are served by the result cache instead.
+
+Lifecycle and events
+--------------------
+A job moves ``queued → running → done | failed``; a cache hit at submission
+creates the job directly in ``done`` (``from_cache=True``).  Progress is
+recorded as an ordered event log per job, using the **same taxonomy** as
+:class:`repro.api.ProgressEvent`: ``start`` when execution begins,
+``cached`` (terminal, the only event) for a cache hit, ``done`` on success —
+always emitted *after* the result is persisted to the cache — plus
+``failed`` for the error path.  :meth:`JobManager.events` replays the log
+and then follows it live, which is what the HTTP layer streams as SSE.
+
+Telemetry
+---------
+The manager keeps its own :class:`~repro.obs.TraceRecorder`.  Each
+execution runs under a fresh per-thread recorder whose export — a
+``service.queue_wait`` span (time between submission and a worker picking
+the job up) and a ``service.execute`` span wrapping the run and the cache
+write — is merged into the manager's recorder on the loop thread, so
+``service.execute`` span counts are an exact execution count (the
+single-flight acceptance check).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import AsyncIterator, Dict, List, Optional, Tuple, Union
+
+from repro.api.backends import execute_payload
+from repro.api.session import RunReport, RunRequest
+from repro.api.wire import WIRE_SCHEMA
+from repro.engine.cache import ResultCache
+from repro.errors import JobNotFound, ServiceUnavailable, error_payload
+from repro.harness.registry import REGISTRY, ExperimentRegistry, SpecValidationError
+from repro.harness.results import ExperimentResult
+from repro.obs import Recorder, Span, TraceRecorder, use_recorder
+
+__all__ = ["JobState", "Job", "JobManager"]
+
+
+class JobState:
+    """The four job states (plain strings, wire-stable)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+    TERMINAL = (DONE, FAILED)
+
+
+class Job:
+    """One deduplicated unit of work: a request, its state, its event log."""
+
+    def __init__(self, job_id: str, request: RunRequest, cache_key: str) -> None:
+        self.id = job_id
+        self.request = request
+        self.cache_key = cache_key
+        self.state = JobState.QUEUED
+        self.from_cache = False
+        self.subscribers = 1
+        self.report: Optional[RunReport] = None
+        self.error: Optional[Dict[str, object]] = None
+        self.error_status = 500
+        self.created_at = time.time()
+        self.queue_wait_seconds: Optional[float] = None
+        self.events: List[Dict[str, object]] = []
+        self.task: Optional[asyncio.Task] = None
+        # Futures of event-stream consumers waiting for the next event; all
+        # access is confined to the event loop thread, so no lock is needed.
+        self._waiters: List[asyncio.Future] = []
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in JobState.TERMINAL
+
+    # -- event log (loop thread only) ---------------------------------- #
+    def emit(self, kind: str, **fields: object) -> None:
+        """Append one progress event and wake every waiting stream."""
+        event: Dict[str, object] = {
+            "schema": WIRE_SCHEMA,
+            "kind": "event",
+            "event": kind,
+            "job_id": self.id,
+            "experiment_id": self.request.experiment_id,
+            "state": self.state,
+        }
+        event.update(fields)
+        self.events.append(event)
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            if not waiter.done():
+                waiter.set_result(None)
+
+    async def next_event(self, index: int) -> None:
+        """Return once ``events[index]`` exists (loop thread only)."""
+        while len(self.events) <= index:
+            waiter = asyncio.get_running_loop().create_future()
+            self._waiters.append(waiter)
+            await waiter
+
+    # -- wire form ------------------------------------------------------ #
+    def snapshot(self, deduplicated: Optional[bool] = None) -> Dict[str, object]:
+        """The job's wire record (the ``kind="job"`` envelope of the HTTP
+        layer); ``deduplicated`` is per-submission provenance."""
+        record: Dict[str, object] = {
+            "schema": WIRE_SCHEMA,
+            "kind": "job",
+            "job_id": self.id,
+            "experiment_id": self.request.experiment_id,
+            "preset": self.request.preset,
+            "state": self.state,
+            "cache_key": self.cache_key,
+            "from_cache": self.from_cache,
+            "subscribers": self.subscribers,
+            "error": dict(self.error) if self.error is not None else None,
+        }
+        if deduplicated is not None:
+            record["deduplicated"] = deduplicated
+        return record
+
+
+class JobManager:
+    """Single-flight job execution over a bounded worker pool.
+
+    Parameters mirror :class:`repro.api.Session` where they overlap:
+    ``registry`` resolves experiment ids, ``cache`` is ``True`` (default
+    location) / a path / a :class:`ResultCache` / ``None`` (no caching), and
+    ``max_workers`` bounds the executor threads (default 4).  ``recorder``
+    is the manager's telemetry sink (a fresh :class:`TraceRecorder` when
+    omitted — the service always records, that is what ``/metrics`` reads).
+    """
+
+    def __init__(
+        self,
+        registry: Optional[ExperimentRegistry] = None,
+        cache: Union[bool, None, str, Path, ResultCache] = True,
+        max_workers: Optional[int] = None,
+        recorder: Optional[Recorder] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else REGISTRY
+        if isinstance(cache, ResultCache):
+            self.cache: Optional[ResultCache] = cache
+        elif cache is True:
+            self.cache = ResultCache()
+        elif cache in (None, False):
+            self.cache = None
+        else:
+            self.cache = ResultCache(Path(cache))
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be positive (or None for the default)")
+        self.max_workers = max_workers if max_workers is not None else 4
+        self.recorder: Recorder = recorder if recorder is not None else TraceRecorder()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.max_workers, thread_name_prefix="repro-service"
+        )
+        self._jobs: Dict[str, Job] = {}
+        self._inflight: Dict[str, Job] = {}
+        self._ids = itertools.count(1)
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    def _resolve_key(self, request: RunRequest) -> str:
+        try:
+            spec = self.registry[request.experiment_id]
+        except KeyError:
+            raise SpecValidationError(
+                f"unknown experiment {request.experiment_id!r}; available: "
+                f"{', '.join(self.registry)}"
+            ) from None
+        return spec.cache_key(request.kwargs)
+
+    async def submit(self, request: RunRequest) -> Tuple[Job, bool]:
+        """Submit one request; returns ``(job, deduplicated)``.
+
+        ``deduplicated`` is ``True`` when the submission joined an in-flight
+        job for the same canonical key instead of creating one.  A cache hit
+        creates the job directly in the terminal ``done`` state.  Raises
+        :class:`ServiceUnavailable` once the manager is draining and
+        :class:`SpecValidationError` for unknown experiments / parameters.
+        """
+        if self._closed:
+            raise ServiceUnavailable("service is draining; no new jobs accepted")
+        self.recorder.counter("service.submissions")
+        key = self._resolve_key(request)
+
+        inflight = self._inflight.get(key)
+        if inflight is not None and not inflight.terminal:
+            inflight.subscribers += 1
+            self.recorder.counter("service.deduplicated")
+            return inflight, True
+
+        job = Job(f"j{next(self._ids):06d}-{key[:8]}", request, key)
+        self._jobs[job.id] = job
+
+        if self.cache is not None:
+            # Probe synchronously on the loop thread (a small JSON read) so
+            # two immediate identical submissions cannot both miss; the
+            # manager's recorder sees the cache.lookup span.
+            with use_recorder(self.recorder):
+                payload = self.cache.get(key)
+            if payload is not None:
+                try:
+                    result = ExperimentResult.from_dict(payload)
+                except (KeyError, TypeError, ValueError):
+                    pass  # foreign/stale payload shape: fall through to execute
+                else:
+                    job.report = RunReport(
+                        request=request,
+                        result=result,
+                        from_cache=True,
+                        cache_path=self.cache.path_for(key),
+                    )
+                    job.from_cache = True
+                    job.state = JobState.DONE
+                    self.recorder.counter("service.cache_hits")
+                    job.emit("cached", verdict=result.verdict)
+                    return job, False
+
+        self._inflight[key] = job
+        job.task = asyncio.create_task(self._run(job))
+        return job, False
+
+    # ------------------------------------------------------------------ #
+    def _mark_started(self, job: Job, queue_wait: float) -> None:
+        """Scheduled threadsafe by the worker the moment it picks the job
+        up: the ``start`` event strictly precedes ``done``/``failed``."""
+        if job.terminal:  # pragma: no cover - defensive
+            return
+        job.state = JobState.RUNNING
+        job.queue_wait_seconds = queue_wait
+        job.emit("start")
+
+    def _execute(self, job: Job, loop: asyncio.AbstractEventLoop, submitted: float):
+        """The worker-thread half: run the experiment under a fresh recorder
+        and persist the result before returning (cache-write-before-done)."""
+        queue_wait = time.perf_counter() - submitted
+        loop.call_soon_threadsafe(self._mark_started, job, queue_wait)
+        recorder = TraceRecorder()
+        wait_span = Span(
+            "service.queue_wait", {"job_id": job.id, "experiment_id": job.request.experiment_id}
+        )
+        wait_span.started_at = job.created_at
+        wait_span.wall_seconds = queue_wait
+        recorder.spans.append(wait_span)
+        started = time.perf_counter()
+        with use_recorder(recorder):
+            with recorder.span(
+                "service.execute",
+                job_id=job.id,
+                experiment_id=job.request.experiment_id,
+                cache_key=job.cache_key,
+            ) as span:
+                record = execute_payload(job.request.to_payload(), self.registry)
+                result = ExperimentResult.from_dict(record)
+                cache_path = None
+                if self.cache is not None:
+                    cache_path = self.cache.put(
+                        job.cache_key,
+                        record,
+                        key_fields={
+                            "experiment_id": job.request.experiment_id,
+                            "parameters": job.request.kwargs,
+                            "preset": job.request.preset,
+                        },
+                    )
+                span.annotate(verdict=result.verdict, cached=cache_path is not None)
+        duration = time.perf_counter() - started
+        return result, cache_path, duration, queue_wait, recorder.export()
+
+    async def _run(self, job: Job) -> None:
+        loop = asyncio.get_running_loop()
+        submitted = time.perf_counter()
+        try:
+            outcome = await loop.run_in_executor(
+                self._executor, self._execute, job, loop, submitted
+            )
+        except Exception as error:
+            status, payload = error_payload(error)
+            job.error = payload
+            job.error_status = status
+            job.state = JobState.FAILED
+            self.recorder.counter("service.failed")
+            job.emit("failed", error=dict(payload))
+        else:
+            result, cache_path, duration, queue_wait, export = outcome
+            # Merge the worker's trace on the loop thread — the recorder is
+            # only ever mutated here, so span counts stay exact.
+            if isinstance(self.recorder, TraceRecorder):
+                self.recorder.merge(export)
+            self.recorder.counter("service.executions")
+            self.recorder.histogram("service.queue_wait_seconds", queue_wait)
+            job.report = RunReport(
+                request=job.request,
+                result=result,
+                from_cache=False,
+                cache_path=cache_path,
+                duration_seconds=duration,
+            )
+            job.state = JobState.DONE
+            job.emit("done", verdict=result.verdict)
+        finally:
+            if self._inflight.get(job.cache_key) is job:
+                del self._inflight[job.cache_key]
+
+    # ------------------------------------------------------------------ #
+    def get(self, job_id: str) -> Job:
+        """The job for an id, or raise :class:`JobNotFound`."""
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise JobNotFound(job_id) from None
+
+    async def wait(self, job_id: str) -> Job:
+        """Return the job once it is terminal."""
+        job = self.get(job_id)
+        index = 0
+        while not job.terminal:
+            await job.next_event(index)
+            index = len(job.events)
+        return job
+
+    async def events(self, job_id: str) -> AsyncIterator[Dict[str, object]]:
+        """Replay a job's event log from the beginning, then follow it live
+        until a terminal event (``cached``/``done``/``failed``) is yielded."""
+        job = self.get(job_id)
+        index = 0
+        while True:
+            while index < len(job.events):
+                event = job.events[index]
+                index += 1
+                yield dict(event)
+                if event["event"] in ("cached", "done", "failed"):
+                    return
+            await job.next_event(index)
+
+    def jobs_by_state(self) -> Dict[str, int]:
+        counts = {state: 0 for state in (JobState.QUEUED, JobState.RUNNING, *JobState.TERMINAL)}
+        for job in self._jobs.values():
+            counts[job.state] = counts.get(job.state, 0) + 1
+        return counts
+
+    def metrics(self) -> Dict[str, object]:
+        """The ``/metrics`` summary: job states, telemetry counters,
+        per-span aggregates, and the result cache's traffic and disk shape."""
+        spans: Dict[str, Dict[str, float]] = {}
+        counters: Dict[str, int] = {}
+        if isinstance(self.recorder, TraceRecorder):
+            counters = dict(self.recorder.counters)
+            for span in self.recorder.iter_spans():
+                entry = spans.setdefault(span.name, {"count": 0, "wall_seconds": 0.0})
+                entry["count"] += 1
+                entry["wall_seconds"] += span.wall_seconds
+        cache: Dict[str, object] = {"enabled": self.cache is not None}
+        if self.cache is not None:
+            cache["stats"] = self.cache.stats.as_dict()
+            cache["disk"] = self.cache.describe()
+        return {
+            "schema": WIRE_SCHEMA,
+            "kind": "metrics",
+            "jobs": self.jobs_by_state(),
+            "inflight": len(self._inflight),
+            "counters": counters,
+            "spans": spans,
+            "cache": cache,
+        }
+
+    async def close(self) -> None:
+        """Drain: refuse new submissions, wait for in-flight jobs, release
+        the worker pool.  Idempotent."""
+        self._closed = True
+        tasks = [job.task for job in self._jobs.values() if job.task is not None]
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        self._executor.shutdown(wait=True)

@@ -90,13 +90,19 @@ class TestBackendEquivalence:
         assert batched == inline
 
     def test_batch_manifest_is_json_and_complete(self):
+        from repro.api.wire import WIRE_SCHEMA, decode_manifest
+
         session = Session(seed=4, cache=None)
         backend = BatchBackend()
         payloads = _payloads(session, "E5")
         list(backend.execute(payloads))
         manifest = json.loads(backend.last_manifest)
-        assert manifest["schema"] == 1
-        assert manifest["requests"] == payloads
+        assert manifest["schema"] == WIRE_SCHEMA
+        assert manifest["kind"] == "manifest"
+        # The manifest is the wire encoding of the batch: decoding it yields
+        # the submitted payloads exactly.
+        decoded = [request.to_payload() for request in decode_manifest(backend.last_manifest)]
+        assert decoded == payloads
 
     def test_inline_backend_is_lazy(self):
         session = Session(seed=4, cache=None)

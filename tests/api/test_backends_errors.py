@@ -112,8 +112,10 @@ class TestMalformedManifests:
         assert backend.last_manifest is None
 
     def test_manifest_missing_experiment_id_fails_loudly(self):
+        from repro.errors import WireFormatError
+
         backend = BatchBackend()
-        with pytest.raises(KeyError):
+        with pytest.raises(WireFormatError):
             list(backend.execute([{"parameters": {}}]))
 
     def test_decoded_manifest_is_what_runs(self):

@@ -1,0 +1,100 @@
+"""Tests for the unified error taxonomy (repro.errors)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine.compiler import ProgramCompilationError
+from repro.errors import (
+    JobNotFound,
+    ReproError,
+    ServiceUnavailable,
+    WireFormatError,
+    error_class_for_code,
+    error_payload,
+)
+from repro.harness.registry import (
+    REGISTRY,
+    ParameterValueError,
+    SpecValidationError,
+    UnknownParameterError,
+)
+
+TAXONOMY = [
+    (UnknownParameterError, "unknown_parameter", 400),
+    (ParameterValueError, "parameter_value", 400),
+    (SpecValidationError, "spec_validation", 400),
+    (ProgramCompilationError, "program_compilation", 422),
+    (JobNotFound, "job_not_found", 404),
+    (ServiceUnavailable, "service_unavailable", 503),
+    (WireFormatError, "wire_format", 400),
+]
+
+
+class TestTaxonomy:
+    @pytest.mark.parametrize("cls, code, status", TAXONOMY)
+    def test_codes_and_statuses_are_stable(self, cls, code, status):
+        assert cls.code == code
+        assert cls.http_status == status
+        assert issubclass(cls, ReproError)
+
+    @pytest.mark.parametrize("cls, code, status", TAXONOMY)
+    def test_every_code_resolves_back_to_its_class(self, cls, code, status):
+        resolved = error_class_for_code(code)
+        assert resolved is not None and resolved.code == code
+        assert issubclass(cls, resolved) or issubclass(resolved, cls)
+
+    def test_unknown_code_resolves_to_none(self):
+        assert error_class_for_code("internal") is None
+        assert error_class_for_code("no_such_code") is None
+
+    def test_stdlib_bases_are_preserved(self):
+        """Pre-taxonomy callers catching stdlib types keep working."""
+        assert issubclass(SpecValidationError, ValueError)
+        assert issubclass(ProgramCompilationError, ValueError)
+        assert issubclass(WireFormatError, ValueError)
+        assert issubclass(JobNotFound, LookupError)
+
+    def test_registry_validation_raises_taxonomy_members(self):
+        spec = REGISTRY["E1"]
+        with pytest.raises(UnknownParameterError) as info:
+            spec.resolve(overrides={"bogus": 1})
+        assert info.value.code == "unknown_parameter"
+        assert info.value.details["names"] == ["bogus"]
+
+
+class TestPayloads:
+    def test_payload_shape_is_json_able(self):
+        error = JobNotFound("j000001")
+        payload = error.to_payload()
+        assert payload == {
+            "error": "job_not_found",
+            "message": "unknown job 'j000001'",
+            "details": {"job_id": "j000001"},
+        }
+        json.dumps(payload)  # must survive any wire
+
+    def test_error_payload_maps_taxonomy_members_mechanically(self):
+        status, payload = error_payload(ServiceUnavailable("draining"))
+        assert status == 503
+        assert payload["error"] == "service_unavailable"
+        assert payload["message"] == "draining"
+
+    def test_error_payload_folds_foreign_exceptions_to_internal(self):
+        status, payload = error_payload(RuntimeError("boom"))
+        assert status == 500
+        assert payload["error"] == "internal"
+        assert payload["message"] == "boom"
+        assert payload["details"] == {"exception": "RuntimeError"}
+
+    def test_error_payload_names_messageless_exceptions(self):
+        status, payload = error_payload(ZeroDivisionError())
+        assert status == 500
+        assert payload["message"] == "ZeroDivisionError"
+
+    def test_details_carry_structured_context(self):
+        error = ReproError("it broke", step="compile", attempt=2)
+        assert error.details == {"step": "compile", "attempt": 2}
+        assert error.to_payload()["details"]["attempt"] == 2

@@ -1,0 +1,127 @@
+"""The progress-event ordering contract, tested once for both surfaces.
+
+The guarantees under test (DESIGN.md, "Sessions" / "Service"):
+
+* ``start`` is emitted strictly before ``done``;
+* a cache hit emits exactly one event, ``cached``, and it is terminal;
+* the cache entry is written **before** the ``done`` event is observable
+  (so a subscriber reacting to ``done`` can immediately read the cache).
+
+One parametrized suite covers the inline backend (Session progress
+callbacks) and the service's SSE stream — the two surfaces must never
+drift apart.  Each mode is driven through a ``Contract`` adapter returning
+``(event_kind, cache_entry_exists_at_observation_time)`` pairs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Client, Session
+from repro.engine.cache import ResultCache
+from repro.harness.registry import ExperimentRegistry, ExperimentSpec, ParameterSpec
+from repro.harness.results import ExperimentResult
+from repro.service import ServiceThread
+
+
+def _runner(n=3, seed=0):
+    result = ExperimentResult(
+        experiment_id="STUB", title="stub", paper_claim="none", parameters={"n": n, "seed": seed}
+    )
+    result.add_row(value=n + seed)
+    result.matches_paper = True
+    return result
+
+
+def _registry():
+    return ExperimentRegistry(
+        [
+            ExperimentSpec(
+                id="STUB",
+                title="stub",
+                runner=_runner,
+                parameters=(ParameterSpec("n", "int", 3), ParameterSpec("seed", "int", 0)),
+            )
+        ]
+    )
+
+
+class InlineContract:
+    """Observe Session progress callbacks, sampling the cache at each event."""
+
+    name = "inline"
+
+    def __init__(self, cache_dir):
+        self.registry = _registry()
+        self.cache = ResultCache(cache_dir)
+        self.session = Session(cache=self.cache, registry=self.registry)
+        self.key = self.session.request("STUB").cache_key(self.registry)
+
+    def observe_run(self):
+        events = []
+        self.session.run(
+            "STUB",
+            progress=lambda e: events.append(
+                (e.kind, self.cache.path_for(self.key).exists())
+            ),
+        )
+        return events
+
+    def close(self):
+        pass
+
+
+class ServiceContract:
+    """Observe the service's SSE stream, sampling the cache at each event."""
+
+    name = "service"
+
+    def __init__(self, cache_dir):
+        self.registry = _registry()
+        self.cache = ResultCache(cache_dir)
+        self.thread = ServiceThread(port=0, registry=self.registry, cache=self.cache)
+        self.thread.start()
+        self.client = Client(self.thread.url, registry=self.registry)
+        self.key = self.client.request("STUB").cache_key(self.registry)
+
+    def observe_run(self):
+        job = self.client.submit("STUB")
+        return [
+            (event["event"], self.cache.path_for(self.key).exists())
+            for event in self.client.stream(job.id)
+        ]
+
+    def close(self):
+        self.thread.stop()
+
+
+@pytest.fixture(params=[InlineContract, ServiceContract], ids=["inline", "service"])
+def contract(request, tmp_path):
+    instance = request.param(tmp_path / "cache")
+    yield instance
+    instance.close()
+
+
+class TestProgressOrdering:
+    def test_start_strictly_precedes_done(self, contract):
+        kinds = [kind for kind, _ in contract.observe_run()]
+        assert kinds == ["start", "done"]
+        assert kinds.index("start") < kinds.index("done")
+
+    def test_cache_write_precedes_the_done_event(self, contract):
+        events = contract.observe_run()
+        observed = dict(events)
+        # Whenever 'done' is observable, the cache entry already exists:
+        # a subscriber reacting to 'done' may immediately read the cache.
+        assert observed["done"] is True
+
+    def test_cached_is_terminal_and_sole(self, contract):
+        contract.observe_run()  # populate the cache
+        events = contract.observe_run()
+        assert [kind for kind, _ in events] == ["cached"]
+        assert events[0][1] is True  # the entry it was served from exists
+
+    def test_surfaces_agree_on_the_event_taxonomy(self, contract):
+        fresh = [kind for kind, _ in contract.observe_run()]
+        cached = [kind for kind, _ in contract.observe_run()]
+        assert set(fresh) | set(cached) <= {"start", "done", "cached"}

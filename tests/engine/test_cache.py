@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import json
+import time
+from pathlib import Path
 
 import pytest
 
@@ -149,7 +151,9 @@ class TestCacheStats:
         cache.put(unparsable, {"rows": []})
         cache.path_for(unparsable).write_text("{not json", encoding="utf8")
         wrong_shape = cache_key("E1", {"i": 1}, 0)
-        cache.path_for(wrong_shape).write_text('{"payload": [1, 2]}', encoding="utf8")
+        wrong_path = cache.path_for(wrong_shape)
+        wrong_path.parent.mkdir(parents=True, exist_ok=True)
+        wrong_path.write_text('{"payload": [1, 2]}', encoding="utf8")
         assert cache.get(unparsable) is None
         assert cache.get(wrong_shape) is None
         assert cache.stats.corrupt == 2
@@ -169,11 +173,209 @@ class TestCacheStats:
     def test_describe_reports_disk_shape(self, tmp_path):
         cache = ResultCache(tmp_path)
         shape = cache.describe()
-        assert shape == {"directory": str(tmp_path), "entries": 0, "total_bytes": 0}
+        assert shape["directory"] == str(tmp_path)
+        assert shape["entries"] == 0
+        assert shape["total_bytes"] == 0
+        assert shape["shards"] == 0
+        assert shape["policy"] == {"ttl_seconds": None, "max_entries": None, "max_bytes": None}
         cache.put(cache_key("E1", {}, 0), {"rows": [1]})
         shape = cache.describe()
         assert shape["entries"] == 1
         assert shape["total_bytes"] > 0
+        assert shape["shards"] == 1
+
+    def test_describe_is_robust_to_a_missing_directory(self, tmp_path):
+        shape = ResultCache(tmp_path / "never-created").describe()
+        assert shape["entries"] == 0
+        assert shape["total_bytes"] == 0
+        assert shape["shards"] == 0
+
+
+class TestShardedLayout:
+    def test_entries_land_in_two_level_shards(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("E1", {"trials": 10}, 0)
+        path = cache.put(key, {"rows": []})
+        assert path == tmp_path / key[:2] / f"{key}.json"
+        assert path.is_file()
+        assert cache.get(key) == {"rows": []}
+
+    def test_legacy_flat_entries_remain_readable(self, tmp_path):
+        """A cache written by a pre-shard release (flat <key>.json files)
+        still serves hits, counts, and clears."""
+        key = cache_key("E1", {"trials": 10}, 0)
+        flat = tmp_path / f"{key}.json"
+        flat.write_text(
+            json.dumps({"key": key, "key_fields": None, "payload": {"rows": [7]}}),
+            encoding="utf8",
+        )
+        cache = ResultCache(tmp_path)
+        assert key in cache
+        assert cache.get(key) == {"rows": [7]}
+        assert len(cache) == 1
+        assert cache.clear() == 1
+        assert cache.get(key) is None
+
+    def test_sharded_entry_shadows_a_legacy_one(self, tmp_path):
+        key = cache_key("E1", {"trials": 10}, 0)
+        (tmp_path / f"{key}.json").write_text(
+            json.dumps({"payload": {"rows": ["legacy"]}}), encoding="utf8"
+        )
+        cache = ResultCache(tmp_path)
+        cache.put(key, {"rows": ["sharded"]})
+        assert cache.get(key) == {"rows": ["sharded"]}
+
+    def test_clear_removes_empty_shard_directories(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("E1", {}, 0)
+        cache.put(key, {"rows": []})
+        shard = tmp_path / key[:2]
+        assert shard.is_dir()
+        cache.clear()
+        assert not shard.exists()
+
+
+class TestEviction:
+    def test_policy_parameters_are_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path, ttl_seconds=0)
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path, max_entries=0)
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path, max_bytes=0)
+
+    def test_ttl_expired_entry_reads_as_miss_and_is_deleted(self, tmp_path):
+        import os as _os
+
+        cache = ResultCache(tmp_path, ttl_seconds=60.0)
+        key = cache_key("E1", {}, 0)
+        path = cache.put(key, {"rows": []})
+        assert cache.get(key) == {"rows": []}
+        stale = path.stat().st_mtime - 3600
+        _os.utime(path, (stale, stale))
+        assert cache.get(key) is None
+        assert not path.exists()
+        assert cache.stats.evictions == 1
+
+    def test_max_entries_evicts_least_recently_used(self, tmp_path):
+        import os as _os
+
+        cache = ResultCache(tmp_path, max_entries=2)
+        keys = [cache_key("E1", {"i": index}, 0) for index in range(3)]
+        now = time.time()
+        for offset, key in enumerate(keys[:2]):
+            path = cache.put(key, {"i": key})
+            # Distinct mtimes so LRU order is deterministic.
+            _os.utime(path, (now - 100 + offset, now - 100 + offset))
+        # Touch keys[0]: it becomes the most recently used of the two.
+        assert cache.get(keys[0]) is not None
+        cache.put(keys[2], {"i": keys[2]})
+        assert len(cache) == 2
+        assert cache.get(keys[1]) is None  # the LRU entry was evicted
+        assert cache.get(keys[0]) is not None
+        assert cache.get(keys[2]) is not None
+        assert cache.stats.evictions == 1
+
+    def test_max_bytes_bounds_total_size(self, tmp_path):
+        import os as _os
+
+        # Each entry is ~1.1 KB on disk; the bound holds one but not two.
+        cache = ResultCache(tmp_path, max_bytes=1500)
+        now = time.time()
+        newest = cache_key("E1", {"i": 1}, 0)
+        first = cache.put(cache_key("E1", {"i": 0}, 0), {"blob": "x" * 1000})
+        assert first.stat().st_size < 1500
+        _os.utime(first, (now - 10, now - 10))
+        cache.put(newest, {"blob": "y" * 1000})
+        assert len(cache) == 1
+        assert cache.get(newest) is not None
+        assert cache.stats.evictions == 1
+
+    def test_unbounded_cache_never_evicts(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for index in range(5):
+            cache.put(cache_key("E1", {"i": index}, 0), {"i": index})
+        assert len(cache) == 5
+        assert cache.evict() == 0
+        assert cache.stats.evictions == 0
+
+
+def _hammer_writes(directory: str, key: str, marker: int, rounds: int) -> int:
+    """Worker for the concurrent-writer test: repeatedly publish a large
+    payload under one shared key (top-level, hence picklable)."""
+    from repro.engine.cache import ResultCache
+
+    cache = ResultCache(Path(directory))
+    payload = {"marker": marker, "blob": "x" * 50_000, "rows": list(range(500))}
+    for _ in range(rounds):
+        cache.put(key, payload)
+    return marker
+
+
+class TestConcurrentWriters:
+    def test_concurrent_writes_never_leave_a_corrupt_entry(self, tmp_path):
+        """Two processes hammering the same key while a reader polls: every
+        read is either a miss (before the first publish) or a *complete*
+        payload from one writer — never torn, never corrupt."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        key = cache_key("E1", {"concurrent": True}, 0)
+        cache = ResultCache(tmp_path)
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            futures = [
+                pool.submit(_hammer_writes, str(tmp_path), key, marker, 20)
+                for marker in (1, 2)
+            ]
+            observed = set()
+            while not all(future.done() for future in futures):
+                payload = cache.get(key)
+                if payload is not None:
+                    assert set(payload) == {"marker", "blob", "rows"}
+                    assert len(payload["blob"]) == 50_000
+                    assert payload["rows"] == list(range(500))
+                    observed.add(payload["marker"])
+            assert sorted(future.result() for future in futures) == [1, 2]
+        # The final state is one complete entry from one of the writers.
+        final = cache.get(key)
+        assert final is not None and final["marker"] in (1, 2)
+        assert cache.stats.corrupt == 0
+        # No temp files were left behind by either writer.
+        assert list(tmp_path.glob("**/*.tmp")) == []
+
+
+class TestCacheStatsCLI:
+    def test_cache_stats_reports_zeros_on_missing_directory(self, tmp_path):
+        from io import StringIO
+
+        from repro.cli import main
+
+        stream = StringIO()
+        code = main(["cache", "stats", "--cache-dir", str(tmp_path / "missing")], stream=stream)
+        assert code == 0
+        output = stream.getvalue()
+        assert "entries    : 0" in output
+        assert "total bytes: 0" in output
+        assert "shards     : 0" in output
+
+    def test_cache_stats_reports_zeros_on_empty_directory(self, tmp_path):
+        from io import StringIO
+
+        from repro.cli import main
+
+        stream = StringIO()
+        code = main(["cache", "stats", "--cache-dir", str(tmp_path)], stream=stream)
+        assert code == 0
+        assert "entries    : 0" in stream.getvalue()
+
+    def test_cache_clear_exits_zero_on_missing_directory(self, tmp_path):
+        from io import StringIO
+
+        from repro.cli import main
+
+        stream = StringIO()
+        code = main(["cache", "clear", "--cache-dir", str(tmp_path / "missing")], stream=stream)
+        assert code == 0
+        assert "removed 0 cache entries" in stream.getvalue()
 
 
 class TestDefaultLocation:

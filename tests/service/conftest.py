@@ -1,0 +1,99 @@
+"""Shared fixtures for the service tests: stub specs that run in
+microseconds, plus a gated spec whose runner blocks on a threading.Event so
+tests can hold jobs in flight deterministically."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.api.session import RunRequest
+from repro.harness.registry import ExperimentRegistry, ExperimentSpec, ParameterSpec
+from repro.harness.results import ExperimentResult
+
+
+def make_request(registry, experiment_id, **overrides):
+    """A fully resolved RunRequest against a registry (what Session.request
+    produces, without needing a session)."""
+    spec = registry[experiment_id]
+    return RunRequest.create(experiment_id, spec.resolve(overrides=overrides))
+
+
+@pytest.fixture
+def req():
+    return make_request
+
+
+def make_result(experiment_id, **parameters):
+    result = ExperimentResult(
+        experiment_id=experiment_id,
+        title="stub",
+        paper_claim="none",
+        parameters=dict(parameters),
+    )
+    result.add_row(value=parameters.get("n", 0) * 2 + parameters.get("seed", 0))
+    result.matches_paper = True
+    return result
+
+
+def stub_spec(experiment_id="STUB"):
+    def runner(n=3, seed=0):
+        return make_result(experiment_id, n=n, seed=seed)
+
+    return ExperimentSpec(
+        id=experiment_id,
+        title="stub spec",
+        runner=runner,
+        parameters=(ParameterSpec("n", "int", 3), ParameterSpec("seed", "int", 0)),
+        quick={"n": 1},
+    )
+
+
+def failing_spec(experiment_id="BOOM"):
+    def runner(n=3):
+        raise RuntimeError("the runner exploded")
+
+    return ExperimentSpec(
+        id=experiment_id,
+        title="failing spec",
+        runner=runner,
+        parameters=(ParameterSpec("n", "int", 3),),
+    )
+
+
+class Gate:
+    """A gated runner: every call blocks until :meth:`open` (so tests can
+    pile up concurrent submissions), and records its call count."""
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._lock = threading.Lock()
+        self.calls = 0
+
+    def open(self) -> None:
+        self._event.set()
+
+    def spec(self, experiment_id="GATED") -> ExperimentSpec:
+        def runner(n=3, seed=0):
+            with self._lock:
+                self.calls += 1
+            assert self._event.wait(timeout=30), "gate never opened"
+            return make_result(experiment_id, n=n, seed=seed)
+
+        return ExperimentSpec(
+            id=experiment_id,
+            title="gated spec",
+            runner=runner,
+            parameters=(ParameterSpec("n", "int", 3), ParameterSpec("seed", "int", 0)),
+        )
+
+
+@pytest.fixture
+def registry():
+    return ExperimentRegistry([stub_spec(), failing_spec()])
+
+
+@pytest.fixture
+def gate():
+    return Gate()
