@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Chaos smoke check: crash the service mid-execution, recover the job.
+
+The crash-safety contract, demonstrated end to end with a real SIGKILL:
+
+1. start `python -m repro serve` with a persistent ``--journal-dir``;
+2. submit a deliberately slow E1 run and wait until it is *executing*;
+3. SIGKILL the server — no drain, no goodbye, exactly like a crash;
+4. restart the server on the **same** journal + cache directories;
+5. the same job id resumes, re-executes, and completes — and the result is
+   bit-identical to an uninterrupted inline ``Session.run`` at the same
+   seed (determinism makes re-execution indistinguishable from recovery).
+
+Exits nonzero on any violation — CI runs this as the chaos smoke job.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.api import Client, Session  # noqa: E402
+
+SEED = 0
+# Big enough for a multi-second execution window, small enough for CI.
+TRIALS = 12_000
+
+
+def start_server(cache_dir: str, journal_dir: str) -> tuple[subprocess.Popen, str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + os.pathsep + env.get("PYTHONPATH", "")
+    server = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0",
+            "--cache-dir", cache_dir,
+            "--journal-dir", journal_dir,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    announcement = server.stdout.readline().strip()
+    if not announcement.startswith("repro service listening on "):
+        server.kill()
+        raise SystemExit(f"unexpected server announcement: {announcement!r}")
+    return server, announcement.rsplit(" ", 1)[-1]
+
+
+def wait_for_state(client: Client, job_id: str, states, timeout: float = 120.0) -> str:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        state = str(client.status(job_id)["state"])
+        if state in states:
+            return state
+        time.sleep(0.05)
+    raise SystemExit(f"job {job_id} did not reach {states} within {timeout}s")
+
+
+def main() -> int:
+    cache_dir = tempfile.mkdtemp(prefix="repro-chaos-cache-")
+    journal_dir = tempfile.mkdtemp(prefix="repro-chaos-journal-")
+
+    # -- life 1: submit, wait for execution, then die hard ----------------- #
+    server, url = start_server(cache_dir, journal_dir)
+    print(f"server up at {url} (journal: {journal_dir})")
+    client = Client(url, seed=SEED)
+    job = client.submit("E1", trials=TRIALS)
+    print(f"submitted {job.id}")
+    wait_for_state(client, job.id, states=("running",))
+    print("job is executing — sending SIGKILL")
+    os.kill(server.pid, signal.SIGKILL)
+    server.wait(timeout=10)
+
+    # -- life 2: same journal, same cache, same job id --------------------- #
+    server, url = start_server(cache_dir, journal_dir)
+    print(f"server back up at {url}")
+    failures = []
+    try:
+        client = Client(url, seed=SEED)
+        state = wait_for_state(client, job.id, states=("done", "failed"))
+        print(f"replayed job {job.id} reached state: {state}")
+        if state != "done":
+            failures.append(f"recovered job ended {state}: {client.status(job.id)}")
+        else:
+            record = client.result_record(job.id)
+            metrics = client.metrics()
+            replayed = metrics["counters"].get("service.replayed", 0)
+            print(f"service.replayed: {replayed}")
+            if replayed != 1:
+                failures.append(f"expected 1 replayed job, saw {replayed}")
+            if not metrics["journal"]["enabled"]:
+                failures.append("journal not enabled in /v1/metrics")
+
+            inline = Session(seed=SEED, cache=None).run("E1", trials=TRIALS).result
+            if record["result"] == inline.to_dict():
+                print("bit-identical with an uninterrupted inline run")
+            else:
+                failures.append("recovered result differs from the inline run")
+            if not record["result"]["matches_paper"]:
+                failures.append("recovered run has a red verdict")
+    finally:
+        server.terminate()
+        server.wait(timeout=10)
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("crash recovery OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,12 +13,33 @@ Server-side failures come back as taxonomy payloads
 exception types — ``except UnknownParameterError`` works identically
 against a local session and a remote service.
 
+Resilience
+----------
+The client survives the failures a crash-safe service makes routine:
+
+* **Request retries** — connection errors and backpressure responses
+  (429 ``queue_full`` / 503 ``shutting_down``) retry up to ``retries``
+  times under a deterministic :class:`~repro.retry.BackoffPolicy`, honoring
+  the server's ``Retry-After`` when present.  Resubmitting ``POST
+  /v1/jobs`` is safe by construction: single-flight dedup plus the result
+  cache make the operation idempotent.
+* **SSE resume** — :meth:`Client.stream` tracks each event's ``id:`` and,
+  when the stream is severed mid-flight (server killed, connection dropped,
+  socket read timeout), reconnects with a ``Last-Event-ID`` header so no
+  event is missed and none repeats.  A server restarted from its journal
+  resends the terminal event even when its replayed log is shorter than the
+  client's cursor, so a resuming client always observes the outcome.
+* **Typed unreachability** — a server that stays unreachable after the
+  retry budget raises :class:`~repro.errors.ServiceUnavailable` (never a
+  raw socket error, never a hang): every read carries a socket timeout.
+
 Everything is ``urllib`` — no dependencies, matching the service's
 stdlib-only contract.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
 import time
 import urllib.error
@@ -27,14 +48,44 @@ from typing import Dict, Iterator, List, Optional
 
 from repro.api.session import PRESET_FULL, RunRequest, Session
 from repro.api.wire import decode_result, encode_request
-from repro.errors import ReproError, error_class_for_code
+from repro.errors import ReproError, ServiceUnavailable, error_class_for_code
 from repro.harness.registry import ExperimentRegistry
 from repro.harness.results import ExperimentResult
+from repro.retry import BackoffPolicy
 
 __all__ = ["Client", "RemoteJob"]
 
 #: Job states the service reports as finished.
 _TERMINAL_STATES = ("done", "failed")
+
+#: Event kinds that end a job's SSE stream.
+_TERMINAL_EVENTS = ("cached", "done", "failed")
+
+#: Backpressure statuses worth retrying (the server said "come back").
+_RETRYABLE_STATUSES = (429, 503)
+
+#: Transport-level failures worth retrying.  ``HTTPError`` is an ``OSError``
+#: subclass (via ``URLError``), so handlers must catch it *first*; what lands
+#: here is connection refusal, resets, DNS failures, and socket timeouts.
+_CONNECTION_ERRORS = (OSError, http.client.HTTPException)
+
+
+def _retry_after_hint(
+    error: urllib.error.HTTPError, payload: Dict[str, object]
+) -> Optional[float]:
+    """The server's come-back hint: the ``Retry-After`` header when parseable,
+    else the error payload's ``retry_after`` detail."""
+    header = error.headers.get("Retry-After") if error.headers is not None else None
+    if header is not None:
+        try:
+            return max(0.0, float(header))
+        except ValueError:
+            pass
+    details = payload.get("details")
+    hint = details.get("retry_after") if isinstance(details, dict) else None
+    if isinstance(hint, (int, float)) and not isinstance(hint, bool) and hint >= 0:
+        return float(hint)
+    return None
 
 
 def _raise_remote(status: int, payload: Dict[str, object]) -> None:
@@ -120,9 +171,19 @@ class Client:
         confidence: Optional[float] = None,
         registry: Optional[ExperimentRegistry] = None,
         timeout: float = 60.0,
+        retries: int = 2,
+        backoff: Optional[BackoffPolicy] = None,
+        stream_timeout: Optional[float] = None,
     ) -> None:
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff if backoff is not None else BackoffPolicy()
+        #: Socket read timeout on the SSE stream: a quiet read never blocks
+        #: longer than this — the stream reconnects (with resume) instead.
+        self.stream_timeout = stream_timeout if stream_timeout is not None else timeout
         # Request resolution only — never executes, never caches.
         self._resolver = Session(
             seed=seed,
@@ -135,22 +196,49 @@ class Client:
 
     # -- transport ------------------------------------------------------ #
     def _call(self, method: str, path: str, body: Optional[Dict[str, object]] = None):
+        """One JSON round-trip with retries.
+
+        Connection failures and backpressure responses (429/503) retry up
+        to ``self.retries`` times under the backoff policy; the server's
+        ``Retry-After`` wins over the local schedule when present.  All
+        requests here are idempotent — including job submission, which the
+        service dedupes by canonical cache key.
+        """
         data = json.dumps(body).encode("utf8") if body is not None else None
-        request = urllib.request.Request(
-            f"{self.base_url}{path}",
-            data=data,
-            method=method,
-            headers={"Content-Type": "application/json"} if data else {},
-        )
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                return json.loads(response.read().decode("utf8"))
-        except urllib.error.HTTPError as error:
+        attempt = 0
+        while True:
+            request = urllib.request.Request(
+                f"{self.base_url}{path}",
+                data=data,
+                method=method,
+                headers={"Content-Type": "application/json"} if data else {},
+            )
             try:
-                payload = json.loads(error.read().decode("utf8"))
-            except (ValueError, UnicodeDecodeError):
-                payload = {"error": "internal", "message": f"HTTP {error.code}"}
-            _raise_remote(error.code, payload)
+                with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                    return json.loads(response.read().decode("utf8"))
+            except urllib.error.HTTPError as error:
+                try:
+                    payload = json.loads(error.read().decode("utf8"))
+                except (ValueError, UnicodeDecodeError):
+                    payload = {"error": "internal", "message": f"HTTP {error.code}"}
+                if error.code in _RETRYABLE_STATUSES and attempt < self.retries:
+                    hint = _retry_after_hint(error, payload)
+                    delay = hint if hint is not None else self.backoff.delay(attempt, path)
+                    time.sleep(delay)
+                    attempt += 1
+                    continue
+                _raise_remote(error.code, payload)
+            except _CONNECTION_ERRORS as error:
+                if attempt < self.retries:
+                    time.sleep(self.backoff.delay(attempt, path))
+                    attempt += 1
+                    continue
+                raise ServiceUnavailable(
+                    f"service at {self.base_url} unreachable after "
+                    f"{attempt + 1} attempts: {error}",
+                    url=self.base_url,
+                    attempts=attempt + 1,
+                ) from error
 
     # -- request building ----------------------------------------------- #
     def request(
@@ -173,15 +261,21 @@ class Client:
         self,
         request_or_id,
         preset: str = PRESET_FULL,
+        priority: int = 0,
         **overrides: object,
     ) -> RemoteJob:
         """Submit a :class:`RunRequest` (or an experiment id plus overrides,
-        resolved via :meth:`request`); returns the job handle."""
+        resolved via :meth:`request`); returns the job handle.  ``priority``
+        is a service scheduling hint (higher dispatches first) and is not
+        part of the request's identity."""
         if isinstance(request_or_id, RunRequest):
             request = request_or_id
         else:
             request = self.request(str(request_or_id), preset=preset, **overrides)
-        record = self._call("POST", "/v1/jobs", body=encode_request(request))
+        body = encode_request(request)
+        if priority:
+            body["priority"] = int(priority)
+        record = self._call("POST", "/v1/jobs", body=body)
         return RemoteJob(self, record)
 
     def status(self, job_id: str) -> Dict[str, object]:
@@ -194,33 +288,104 @@ class Client:
         """The raw wire result record (result body + provenance)."""
         return self._call("GET", f"/v1/jobs/{job_id}/result")
 
-    def stream(self, job_id: str) -> Iterator[Dict[str, object]]:
-        """The job's progress events as decoded SSE ``data`` payloads:
-        replayed history first, then live until the terminal event."""
-        request = urllib.request.Request(f"{self.base_url}/v1/jobs/{job_id}/events")
+    def _open_stream(self, job_id: str, last_id: Optional[int]):
+        """Open (or resume) one SSE connection; HTTP errors raise typed."""
+        headers: Dict[str, str] = {"Accept": "text/event-stream"}
+        if last_id is not None:
+            headers["Last-Event-ID"] = str(last_id)
+        request = urllib.request.Request(
+            f"{self.base_url}/v1/jobs/{job_id}/events", headers=headers
+        )
         try:
-            response = urllib.request.urlopen(request, timeout=self.timeout)
+            return urllib.request.urlopen(request, timeout=self.stream_timeout)
         except urllib.error.HTTPError as error:
             try:
                 payload = json.loads(error.read().decode("utf8"))
             except (ValueError, UnicodeDecodeError):
                 payload = {"error": "internal", "message": f"HTTP {error.code}"}
             _raise_remote(error.code, payload)
-            return  # unreachable; _raise_remote always raises
-        with response:
-            for raw in response:
-                line = raw.decode("utf8").rstrip("\n").rstrip("\r")
-                if line.startswith("data:"):
-                    yield json.loads(line[len("data:"):].strip())
+
+    def stream(self, job_id: str) -> Iterator[Dict[str, object]]:
+        """The job's progress events as decoded SSE ``data`` payloads:
+        replayed history first, then live until the terminal event.
+
+        The stream survives a severed connection: each frame's ``id:`` is
+        tracked, and a reconnect resumes from ``Last-Event-ID`` so events
+        are delivered exactly once in order.  Receiving an event refreshes
+        the retry budget; a server that stays unreachable (or keeps
+        delivering nothing) for ``retries + 1`` consecutive connections
+        raises :class:`~repro.errors.ServiceUnavailable` instead of hanging.
+        """
+        last_id: Optional[int] = None
+        failures = 0
+        while True:
+            try:
+                response = self._open_stream(job_id, last_id)
+            except _CONNECTION_ERRORS as error:
+                if isinstance(error, urllib.error.HTTPError):
+                    raise  # already mapped through the taxonomy
+                failures += 1
+                if failures > self.retries:
+                    raise ServiceUnavailable(
+                        f"event stream for job {job_id} unreachable after "
+                        f"{failures} attempts: {error}",
+                        job_id=job_id,
+                        attempts=failures,
+                    ) from error
+                time.sleep(self.backoff.delay(failures - 1, job_id))
+                continue
+            event_id: Optional[int] = None
+            try:
+                with response:
+                    for raw in response:
+                        line = raw.decode("utf8").rstrip("\n").rstrip("\r")
+                        if line.startswith("id:"):
+                            try:
+                                event_id = int(line[len("id:"):].strip())
+                            except ValueError:
+                                event_id = None
+                            continue
+                        if not line.startswith("data:"):
+                            continue
+                        event = json.loads(line[len("data:"):].strip())
+                        if event_id is None:
+                            index = event.get("index")
+                            event_id = index if isinstance(index, int) else None
+                        failures = 0  # progress: refresh the retry budget
+                        yield event
+                        if event_id is not None:
+                            last_id = event_id
+                        event_id = None
+                        if event.get("event") in _TERMINAL_EVENTS:
+                            return
+            except _CONNECTION_ERRORS:
+                pass  # severed mid-read (reset, dead socket, read timeout)
+            # Reached only without a terminal event: the server went away or
+            # the read timed out.  Reconnect with the resume cursor.
+            failures += 1
+            if failures > self.retries:
+                raise ServiceUnavailable(
+                    f"event stream for job {job_id} ended without a terminal "
+                    f"event after {failures} attempts",
+                    job_id=job_id,
+                    attempts=failures,
+                )
+            time.sleep(self.backoff.delay(failures - 1, job_id))
 
     def wait(self, job_id: str, timeout: Optional[float] = None) -> Dict[str, object]:
         """Block until a job is terminal (following its event stream, which
-        needs no polling) and return the final job record."""
+        needs no polling) and return the final job record.
+
+        Never hangs: stream reads carry a socket timeout and reconnect with
+        resume, so a dead server surfaces as
+        :class:`~repro.errors.ServiceUnavailable` and a ``timeout`` here
+        bounds the overall wait.
+        """
         deadline = None if timeout is None else time.monotonic() + timeout
         for event in self.stream(job_id):
             if deadline is not None and time.monotonic() > deadline:
                 raise TimeoutError(f"job {job_id} not terminal after {timeout:.1f}s")
-            if event.get("event") in ("cached", "done", "failed"):
+            if event.get("event") in _TERMINAL_EVENTS:
                 break
         return self.status(job_id)
 

@@ -9,8 +9,8 @@ experiment result.  Every record is a plain JSON-able dict carrying:
   reject versions they do not understand with :class:`~repro.errors.WireFormatError`
   instead of guessing; bump the constant when a record's shape changes.
 * ``kind`` — what the record is (``run_request`` / ``experiment_result`` /
-  ``manifest`` / ``job`` / ``event``), so a decoder handed the wrong record
-  fails loudly rather than mis-parsing.
+  ``manifest`` / ``job`` / ``event`` / ``journal``), so a decoder handed the
+  wrong record fails loudly rather than mis-parsing.
 
 Encode/decode are exact inverses on the supported types: a decoded request
 equals the original :class:`~repro.api.session.RunRequest` (property-tested
@@ -33,12 +33,15 @@ from repro.harness.results import ExperimentResult
 
 __all__ = [
     "WIRE_SCHEMA",
+    "JOURNAL_EVENTS",
     "encode_request",
     "decode_request",
     "encode_result",
     "decode_result",
     "encode_manifest",
     "decode_manifest",
+    "encode_journal_record",
+    "decode_journal_record",
 ]
 
 #: Version of the wire encoding.  Decoders accept exactly this version.
@@ -47,6 +50,13 @@ WIRE_SCHEMA = 1
 KIND_REQUEST = "run_request"
 KIND_RESULT = "experiment_result"
 KIND_MANIFEST = "manifest"
+KIND_JOURNAL = "journal"
+
+#: The job-lifecycle transitions a journal record may carry, in state-machine
+#: order: ``submit`` (request accepted), ``start`` (a worker picked it up),
+#: ``retry`` (a retryable failure re-enqueued it), ``done``/``failed``
+#: (terminal).
+JOURNAL_EVENTS = ("submit", "start", "retry", "done", "failed")
 
 
 def _require_record(record: object, kind: str) -> Dict[str, object]:
@@ -147,6 +157,53 @@ def decode_result(record: object) -> ExperimentResult:
         raise WireFormatError(
             f"result record body is not an ExperimentResult: {error}", kind=KIND_RESULT
         ) from error
+
+
+# --------------------------------------------------------------------------- #
+# Journal records
+# --------------------------------------------------------------------------- #
+def encode_journal_record(event: str, job_id: str, **fields: object) -> Dict[str, object]:
+    """The wire record of one job-lifecycle transition (the write-ahead log
+    line of :class:`repro.service.journal.JobJournal`).
+
+    ``event`` must be one of :data:`JOURNAL_EVENTS`; ``fields`` carry the
+    per-event payload (``request``/``cache_key``/``priority`` on submit,
+    ``attempt`` on start/retry, the error payload on failed).
+    """
+    if event not in JOURNAL_EVENTS:
+        raise WireFormatError(
+            f"unknown journal event {event!r} (expected one of {', '.join(JOURNAL_EVENTS)})",
+            kind=KIND_JOURNAL,
+            event=event,
+        )
+    if not isinstance(job_id, str) or not job_id:
+        raise WireFormatError("journal record without a job_id", kind=KIND_JOURNAL)
+    record: Dict[str, object] = {
+        "schema": WIRE_SCHEMA,
+        "kind": KIND_JOURNAL,
+        "event": event,
+        "job_id": job_id,
+    }
+    record.update(fields)
+    return record
+
+
+def decode_journal_record(record: object) -> Dict[str, object]:
+    """Validate and return one journal record (inverse of
+    :func:`encode_journal_record`); raises
+    :class:`~repro.errors.WireFormatError` on a foreign or ill-shaped
+    record — which is exactly what lets replay distinguish a torn tail from
+    a healthy line."""
+    fields = _require_record(record, KIND_JOURNAL)
+    event = fields.get("event")
+    if event not in JOURNAL_EVENTS:
+        raise WireFormatError(
+            f"unknown journal event {event!r}", kind=KIND_JOURNAL, event=event
+        )
+    job_id = fields.get("job_id")
+    if not isinstance(job_id, str) or not job_id:
+        raise WireFormatError("journal record without a job_id", kind=KIND_JOURNAL)
+    return fields
 
 
 # --------------------------------------------------------------------------- #

@@ -21,7 +21,10 @@ quick preset, and capability tags.  ``cache`` inspects (``stats``) or empties
 (``clear``) the on-disk result cache without running anything.  ``serve``
 starts the long-running experiment service (:mod:`repro.service`) —
 single-flight deduplicating job server with SSE progress streaming; pair it
-with :class:`repro.api.Client`.
+with :class:`repro.api.Client`.  ``--journal-dir`` makes the service
+crash-safe (accepted jobs survive a kill and replay on restart), and
+``--job-timeout``/``--max-retries``/``--max-queue`` configure execution
+deadlines, retry budgets, and admission control.
 
 Every knob is session configuration, not CLI logic: ``--quick`` selects the
 spec's ``quick`` preset, ``--seed`` reseeds every experiment whose spec
@@ -217,6 +220,37 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="result cache directory (default: $REPRO_CACHE_DIR or ./.repro-cache)",
     )
+    serve_parser.add_argument(
+        "--journal-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="persist a job journal here: accepted work survives crashes and "
+        "restarts replay it (default: no journal)",
+    )
+    serve_parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-attempt execution deadline; timed-out attempts retry under "
+        "backoff when --max-retries allows (default: no deadline)",
+    )
+    serve_parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound on queued jobs; beyond it submissions get 429 + Retry-After "
+        "(default: unbounded)",
+    )
+    serve_parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry budget for retryable failures per job (default: 0, fail fast)",
+    )
 
     report_parser = subparsers.add_parser(
         "report", help="render a directory of JSON artifacts as EXPERIMENTS.md"
@@ -344,6 +378,10 @@ def _command_serve(args: argparse.Namespace, stream) -> int:
         port=args.port,
         cache=cache,
         max_workers=args.workers,
+        journal_dir=args.journal_dir,
+        job_timeout=args.job_timeout,
+        max_queue=args.max_queue,
+        max_retries=args.max_retries,
         stream=stream,
     )
 

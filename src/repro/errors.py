@@ -26,15 +26,20 @@ lets :mod:`repro.service.http` map every failure to a response in one place.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple, Type
+from typing import Dict, List, Optional, Tuple, Type
 
 __all__ = [
     "ReproError",
     "JobNotFound",
     "ServiceUnavailable",
+    "ShuttingDownError",
+    "QueueFullError",
+    "JobTimeoutError",
+    "RetriesExhaustedError",
     "WireFormatError",
     "error_payload",
     "error_class_for_code",
+    "iter_error_classes",
 ]
 
 
@@ -79,6 +84,43 @@ class ServiceUnavailable(ReproError):
     http_status = 503
 
 
+class ShuttingDownError(ServiceUnavailable):
+    """The service received a drain signal: running jobs finish, queued jobs
+    are journaled for the next start, and no new work is accepted.  Carries a
+    ``retry_after`` hint (seconds) the HTTP layer turns into a header."""
+
+    code = "shutting_down"
+    http_status = 503
+
+
+class QueueFullError(ServiceUnavailable):
+    """Admission control rejected a submission: the queue is at its bound.
+
+    Accepted work is never dropped — saturation is refused at the door with
+    a ``retry_after`` hint instead of accepting a job the service cannot
+    serve."""
+
+    code = "queue_full"
+    http_status = 429
+
+
+class JobTimeoutError(ReproError):
+    """A job's execution exceeded its deadline.  The supervising manager
+    abandons the attempt; the failure is retryable under the manager's
+    backoff policy."""
+
+    code = "job_timeout"
+    http_status = 504
+
+
+class RetriesExhaustedError(ReproError):
+    """A job kept failing retryably until the retry budget ran out; the
+    ``details`` carry the last underlying error payload and attempt count."""
+
+    code = "retries_exhausted"
+    http_status = 500
+
+
 class WireFormatError(ReproError, ValueError):
     """A wire record violates the versioned encoding contract
     (:mod:`repro.api.wire`): wrong schema version, wrong kind, or a missing /
@@ -105,29 +147,36 @@ def error_payload(error: BaseException) -> Tuple[int, Dict[str, object]]:
     }
 
 
+def iter_error_classes() -> Tuple[Type[ReproError], ...]:
+    """Every deliberate error class in the taxonomy, in registration order.
+
+    The enumeration walks ``ReproError``'s subclass tree after importing the
+    deeper layers that contribute members (spec validation, compilation), and
+    yields exactly the classes that *declare their own* ``code`` — a subclass
+    inheriting its parent's code is a refinement, not a taxonomy entry.
+    Uniqueness of the codes is a tested invariant
+    (``tests/api/test_errors.py``), so new members cannot silently collide.
+    """
+    # Imported lazily: the concrete errors live in deeper layers that import
+    # this module themselves.
+    import repro.engine.compiler  # noqa: F401
+    import repro.harness.registry  # noqa: F401
+
+    classes: List[Type[ReproError]] = []
+    pending: List[Type[ReproError]] = list(ReproError.__subclasses__())
+    while pending:
+        cls = pending.pop(0)
+        if "code" in cls.__dict__:
+            classes.append(cls)
+        pending.extend(cls.__subclasses__())
+    return tuple(classes)
+
+
 def error_class_for_code(code: str) -> Optional[Type[ReproError]]:
     """The :class:`ReproError` subclass registered for a wire ``code`` (used
     by :class:`repro.api.Client` to re-raise server-side errors as their
     original types), or ``None`` for unknown/internal codes."""
-    # Imported lazily: the concrete errors live in deeper layers that import
-    # this module themselves.
-    from repro.engine.compiler import ProgramCompilationError
-    from repro.harness.registry import (
-        ParameterValueError,
-        SpecValidationError,
-        UnknownParameterError,
-    )
-
-    classes: Tuple[Type[ReproError], ...] = (
-        UnknownParameterError,
-        ParameterValueError,
-        SpecValidationError,
-        ProgramCompilationError,
-        JobNotFound,
-        ServiceUnavailable,
-        WireFormatError,
-    )
-    for cls in classes:
+    for cls in iter_error_classes():
         if cls.code == code:
             return cls
     return None

@@ -1,0 +1,189 @@
+"""Deterministic fault injection for the experiment service.
+
+Recovery paths are only trustworthy if they are *provable*, and provable
+means reproducible: the chaos suite must be able to replay the exact same
+fault sequence on every run.  :class:`FaultPlan` is that harness — a
+schedule of faults attached to **named sites** in the stack:
+
+=====================  ====================================================
+``worker.execute``     checked by the job manager's worker thread right
+                       before an experiment runs (exceptions, stalls)
+``journal.append``     checked by :class:`~repro.service.journal.JobJournal`
+                       before a record is written (torn tails, I/O errors)
+``sse.stream``         checked by the HTTP layer before each SSE frame
+                       (connection drops mid-stream)
+=====================  ====================================================
+
+Faults come in two flavors, both deterministic:
+
+* **Explicit** — ``plan.fail(site, times=2)`` injects on hits 0 and 1 of
+  that site (``after=`` shifts the window).  Hit counting is per-site, so
+  the schedule is independent of interleaving across sites.
+* **Probabilistic** — ``plan.probability(site, 0.3)`` fires on hit *n* iff
+  ``seeded_unit(seed, site, n) < p``.  The draw depends only on
+  ``(seed, site, n)`` — not on call order, thread timing, or a shared RNG —
+  so two plans with the same seed produce the *same* injected-fault
+  sequence (the acceptance criterion of the chaos suite).
+
+Every decision (fired or not) is appended to :attr:`FaultPlan.log`, which is
+what tests assert against.  Injection points call :meth:`FaultPlan.check`
+(returns the action or ``None``) or the convenience :meth:`FaultPlan.fire`
+(raises :class:`InjectedFault` / sleeps a stall inline); torn-tail and
+connection-drop actions are returned to the caller because only the journal
+and the HTTP layer know how to tear their own media.
+
+:func:`tear_journal_tail` truncates a journal file deterministically — the
+standing simulation of a crash mid-append.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.retry import seeded_unit
+
+__all__ = ["FaultAction", "FaultPlan", "InjectedFault", "tear_journal_tail"]
+
+
+class InjectedFault(RuntimeError):
+    """An exception raised by the harness (classified retryable, like any
+    foreign worker crash)."""
+
+    retryable = True
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """What a site should do on one hit: ``kind`` is ``"fail"`` (raise),
+    ``"stall"`` (sleep ``seconds``), ``"tear"`` (write only ``keep`` bytes of
+    the record), or ``"drop"`` (sever the connection)."""
+
+    kind: str
+    seconds: float = 0.0
+    keep: int = 0
+    message: str = ""
+
+
+@dataclass
+class _Rule:
+    action: FaultAction
+    after: int = 0
+    times: int = 1
+    probability: Optional[float] = None
+
+    def applies(self, seed: int, site: str, hit: int) -> bool:
+        if self.probability is not None:
+            return seeded_unit(seed, site, hit) < self.probability
+        return self.after <= hit < self.after + self.times
+
+
+@dataclass
+class FaultPlan:
+    """A seeded, site-addressed schedule of injected faults."""
+
+    seed: int = 0
+    _rules: Dict[str, List[_Rule]] = field(default_factory=dict)
+    _hits: Dict[str, int] = field(default_factory=dict)
+    _log: List[Tuple[str, int, str]] = field(default_factory=list)
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+
+    # -- schedule construction ------------------------------------------ #
+    def _add(self, site: str, rule: _Rule) -> "FaultPlan":
+        self._rules.setdefault(site, []).append(rule)
+        return self
+
+    def fail(
+        self, site: str, times: int = 1, after: int = 0, message: str = ""
+    ) -> "FaultPlan":
+        """Raise :class:`InjectedFault` on ``times`` consecutive hits."""
+        action = FaultAction("fail", message=message or f"injected fault at {site}")
+        return self._add(site, _Rule(action, after=after, times=times))
+
+    def stall(
+        self, site: str, seconds: float, times: int = 1, after: int = 0
+    ) -> "FaultPlan":
+        """Sleep ``seconds`` (an execution stall) on matching hits."""
+        return self._add(site, _Rule(FaultAction("stall", seconds=seconds), after, times))
+
+    def tear(self, site: str, keep: int = 8, times: int = 1, after: int = 0) -> "FaultPlan":
+        """Write only the first ``keep`` bytes of the record (a torn tail)."""
+        return self._add(site, _Rule(FaultAction("tear", keep=keep), after, times))
+
+    def drop(self, site: str, times: int = 1, after: int = 0) -> "FaultPlan":
+        """Sever the connection on matching hits (SSE/stream sites)."""
+        return self._add(site, _Rule(FaultAction("drop"), after, times))
+
+    def probability(self, site: str, p: float, kind: str = "fail") -> "FaultPlan":
+        """Fire ``kind`` on hit *n* iff ``seeded_unit(seed, site, n) < p`` —
+        deterministic in ``(seed, site, n)``, independent of call order."""
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        action = FaultAction(kind, message=f"injected fault at {site}")
+        return self._add(site, _Rule(action, probability=p))
+
+    # -- the injection points ------------------------------------------- #
+    def check(self, site: str) -> Optional[FaultAction]:
+        """Record one hit of a site; the action to inject, or ``None``.
+
+        Thread-safe: worker threads and the event loop share one plan.
+        """
+        with self._lock:
+            hit = self._hits.get(site, 0)
+            self._hits[site] = hit + 1
+            for rule in self._rules.get(site, ()):
+                if rule.applies(self.seed, site, hit):
+                    self._log.append((site, hit, rule.action.kind))
+                    return rule.action
+            self._log.append((site, hit, "pass"))
+            return None
+
+    def fire(self, site: str) -> Optional[FaultAction]:
+        """Like :meth:`check`, but executes raise/stall actions inline.
+
+        ``tear``/``drop`` actions are returned for the caller to apply (the
+        journal tears its own write; the HTTP layer drops its own socket).
+        """
+        action = self.check(site)
+        if action is None:
+            return None
+        if action.kind == "fail":
+            raise InjectedFault(action.message)
+        if action.kind == "stall":
+            time.sleep(action.seconds)
+            return action
+        return action
+
+    # -- inspection ------------------------------------------------------ #
+    @property
+    def log(self) -> Tuple[Tuple[str, int, str], ...]:
+        """Every decision taken: ``(site, hit_index, action_kind)`` — the
+        sequence two same-seed plans must agree on."""
+        with self._lock:
+            return tuple(self._log)
+
+    @property
+    def fired(self) -> Tuple[Tuple[str, int, str], ...]:
+        """The injected subset of :attr:`log` (``action_kind != "pass"``)."""
+        return tuple(entry for entry in self.log if entry[2] != "pass")
+
+    def hits(self, site: str) -> int:
+        with self._lock:
+            return self._hits.get(site, 0)
+
+
+def tear_journal_tail(path: Path, drop_bytes: int = 7) -> int:
+    """Truncate a journal file's tail by ``drop_bytes`` — the canonical
+    simulation of a crash mid-append.  Returns the new size.  Truncating an
+    empty (or missing) journal is a no-op returning 0."""
+    path = Path(path)
+    if not path.is_file():
+        return 0
+    size = path.stat().st_size
+    new_size = max(0, size - max(1, drop_bytes))
+    with path.open("rb+") as handle:
+        handle.truncate(new_size)
+    return new_size

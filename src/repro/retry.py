@@ -1,0 +1,109 @@
+"""Deterministic retry policy shared by the service and the HTTP client.
+
+Reproducibility is the repo's load-bearing invariant, and that includes the
+*recovery* paths: a retry schedule that consults the wall clock or a global
+RNG cannot be asserted in tests.  :class:`BackoffPolicy` therefore derives
+every delay from ``(seed, key, attempt)`` alone — capped exponential growth
+with *seeded jitter*, where the jitter unit is a SHA-256 hash mapped into
+``[0, 1)``.  Two policies with the same seed produce identical schedules in
+any call order; different keys (job cache keys, request paths) de-synchronize
+their jitter so a thundering herd still spreads out.
+
+:func:`is_retryable` is the failure classification the job manager applies:
+deliberate taxonomy errors (:class:`~repro.errors.ReproError`) are
+*deterministic* — a spec-validation or compilation failure will fail
+identically on every attempt, so retrying is waste — while timeouts and
+foreign exceptions (worker crashes, I/O errors, injected faults) are treated
+as transient.  An exception can override the default by setting a boolean
+``retryable`` attribute.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Tuple
+
+__all__ = ["BackoffPolicy", "is_retryable", "seeded_unit"]
+
+
+def seeded_unit(seed: int, key: str, index: int) -> float:
+    """A deterministic, order-independent uniform draw in ``[0, 1)``.
+
+    Unlike a stateful RNG, the value depends only on ``(seed, key, index)``,
+    so concurrent consumers cannot perturb each other's sequences.
+    """
+    digest = hashlib.sha256(f"{seed}:{key}:{index}".encode("utf8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+class BackoffPolicy:
+    """Capped exponential backoff with seeded, reproducible jitter.
+
+    ``delay(attempt, key)`` is ``min(cap, base * factor**attempt)`` scaled by
+    ``1 + jitter * u`` where ``u = seeded_unit(seed, key, attempt)``; with
+    ``jitter=0`` the schedule is the plain exponential.  Attempts are
+    0-indexed: attempt 0's delay precedes the first retry.
+    """
+
+    def __init__(
+        self,
+        base: float = 0.05,
+        factor: float = 2.0,
+        cap: float = 5.0,
+        jitter: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        if base <= 0:
+            raise ValueError("base delay must be positive")
+        if factor < 1:
+            raise ValueError("factor must be >= 1")
+        if cap < base:
+            raise ValueError("cap must be >= base")
+        if jitter < 0:
+            raise ValueError("jitter must be >= 0")
+        self.base = float(base)
+        self.factor = float(factor)
+        self.cap = float(cap)
+        self.jitter = float(jitter)
+        self.seed = int(seed)
+
+    def delay(self, attempt: int, key: str = "") -> float:
+        """The delay (seconds) before retry number ``attempt + 1``."""
+        if attempt < 0:
+            raise ValueError("attempt must be >= 0")
+        raw = min(self.cap, self.base * self.factor**attempt)
+        scale = 1.0 + self.jitter * seeded_unit(self.seed, key, attempt)
+        return round(raw * scale, 6)
+
+    def schedule(self, attempts: int, key: str = "") -> Tuple[float, ...]:
+        """The full delay schedule for ``attempts`` retries of one key."""
+        return tuple(self.delay(attempt, key) for attempt in range(attempts))
+
+    def describe(self) -> dict:
+        return {
+            "base": self.base,
+            "factor": self.factor,
+            "cap": self.cap,
+            "jitter": self.jitter,
+            "seed": self.seed,
+        }
+
+
+def is_retryable(error: BaseException) -> bool:
+    """Whether a failed execution attempt should re-enqueue.
+
+    The explicit ``retryable`` attribute wins; otherwise timeouts are
+    transient, deliberate :class:`~repro.errors.ReproError` failures are
+    deterministic (never retried), and foreign exceptions — crashes the
+    taxonomy does not know — are treated as transient.
+    """
+    from repro.errors import JobTimeoutError, ReproError
+
+    declared = getattr(error, "retryable", None)
+    if isinstance(declared, bool):
+        return declared
+    if isinstance(error, JobTimeoutError):
+        return True
+    if isinstance(error, ReproError):
+        return False
+    return True

@@ -14,16 +14,27 @@ The server is a hand-rolled HTTP/1.1 implementation over
 ``GET  /v1/jobs/<id>/result``  the wire-encoded result (409 until terminal,
                            the job's error payload when failed)
 ``GET  /v1/jobs/<id>/events``  SSE stream: replays the job's event log, then
-                           follows live until a terminal event
-``GET  /v1/metrics``       job states, counters, span aggregates, cache stats
+                           follows live until a terminal event.  Every frame
+                           carries an ``id:`` line (the event's log index);
+                           a reconnecting client sends ``Last-Event-ID`` to
+                           resume exactly where its stream was severed
+``GET  /v1/metrics``       job states, counters, span aggregates, queue and
+                           journal shape, cache stats
 =========================  ======================================================
 
 Error mapping is **mechanical**: every handler failure goes through
 :func:`repro.errors.error_payload`, so the taxonomy's ``http_status`` /
 ``to_payload`` is the single source of truth — the HTTP layer contains no
-per-exception cases.  Each request is traced as a ``service.request`` span
-on a per-request recorder merged into the manager's (so ``/metrics`` sees
-request spans without cross-task nesting artifacts).
+per-exception cases.  Backpressure responses (429 queue-full, 503 draining)
+automatically carry a ``Retry-After`` header taken from the error's
+``retry_after`` detail.  Each request is traced as a ``service.request``
+span on a per-request recorder merged into the manager's (so ``/metrics``
+sees request spans without cross-task nesting artifacts).
+
+Crash safety: with ``journal_dir`` set the service replays the job journal
+*before* accepting connections, and :func:`serve` installs a SIGTERM/SIGINT
+handler that drains gracefully — running jobs finish, queued jobs stay
+journaled for the next start, and only then does the process exit.
 
 :class:`ServiceThread` hosts a service on a daemon thread for tests and
 embedders (the server runs in-process, so custom registries work);
@@ -33,8 +44,10 @@ embedders (the server runs in-process, so custom registries work);
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import json
 import re
+import signal
 import threading
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
@@ -42,8 +55,10 @@ from typing import Dict, Optional, Tuple, Union
 from repro.api.wire import WIRE_SCHEMA, decode_request, encode_result
 from repro.engine.cache import ResultCache
 from repro.errors import WireFormatError, error_payload
+from repro.faults import FaultPlan
 from repro.harness.registry import ExperimentRegistry
 from repro.obs import TraceRecorder, use_recorder
+from repro.retry import BackoffPolicy
 from repro.service.jobs import JobManager, JobState
 
 __all__ = ["ExperimentService", "ServiceThread", "serve"]
@@ -59,9 +74,14 @@ _STATUS_TEXT = {
     409: "Conflict",
     413: "Payload Too Large",
     422: "Unprocessable Entity",
+    429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
+
+#: Statuses whose responses advertise when to come back.
+_RETRY_AFTER_STATUSES = (429, 503)
 
 _JOB_ROUTE = re.compile(r"^/v1/jobs/(?P<job_id>[^/]+)(?P<tail>/result|/events)?$")
 
@@ -91,10 +111,26 @@ class ExperimentService:
         registry: Optional[ExperimentRegistry] = None,
         cache: Union[bool, None, str, Path, ResultCache] = True,
         max_workers: Optional[int] = None,
+        journal_dir: Union[None, str, Path] = None,
+        job_timeout: Optional[float] = None,
+        max_retries: int = 0,
+        max_queue: Optional[int] = None,
+        backoff: Optional[BackoffPolicy] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         self.host = host
         self.port = port
-        self.manager = JobManager(registry=registry, cache=cache, max_workers=max_workers)
+        self.manager = JobManager(
+            registry=registry,
+            cache=cache,
+            max_workers=max_workers,
+            journal_dir=journal_dir,
+            job_timeout=job_timeout,
+            max_retries=max_retries,
+            max_queue=max_queue,
+            backoff=backoff,
+            faults=faults,
+        )
         self._server: Optional[asyncio.AbstractServer] = None
 
     @property
@@ -111,6 +147,8 @@ class ExperimentService:
 
     # ------------------------------------------------------------------ #
     async def start_async(self) -> Tuple[str, int]:
+        # Replay the journal before the first connection can race it.
+        await self.manager.start()
         self._server = await asyncio.start_server(self._handle, self.host, self.port)
         return self.address
 
@@ -133,7 +171,7 @@ class ExperimentService:
         recorder = TraceRecorder()
         try:
             try:
-                method, path, body = await self._read_request(reader)
+                method, path, headers, body = await self._read_request(reader)
             except _HttpError as error:
                 await self._send_json(
                     writer, error.status, {"error": "bad_request", "message": str(error)}
@@ -145,7 +183,7 @@ class ExperimentService:
                     if path.startswith("/v1/jobs/") and path.endswith("/events"):
                         # SSE writes incrementally; it cannot go through the
                         # buffered JSON response path.
-                        await self._route_events(writer, method, path)
+                        await self._route_events(writer, method, path, headers)
                         span.annotate(status=200)
                         return
                     status, payload = await self._route(method, path, body)
@@ -171,7 +209,9 @@ class ExperimentService:
             except (ConnectionResetError, BrokenPipeError):
                 pass
 
-    async def _read_request(self, reader: asyncio.StreamReader) -> Tuple[str, str, bytes]:
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[str, str, Dict[str, str], bytes]:
         try:
             request_line = await reader.readline()
         except (ValueError, asyncio.LimitOverrunError):
@@ -195,7 +235,7 @@ class ExperimentService:
             raise _HttpError(413, f"request body over {MAX_BODY_BYTES} bytes")
         body = await reader.readexactly(length) if length else b""
         path = target.split("?", 1)[0]
-        return method.upper(), path, body
+        return method.upper(), path, headers, body
 
     # ------------------------------------------------------------------ #
     async def _route(self, method: str, path: str, body: bytes) -> Tuple[int, Dict[str, object]]:
@@ -221,8 +261,15 @@ class ExperimentService:
             return 200, self.manager.metrics()
         if path == "/v1/jobs":
             self._expect(method, "POST")
-            request = decode_request(self._parse_body(body))
-            job, deduplicated = await self.manager.submit(request)
+            record = self._parse_body(body)
+            # Priority rides alongside the wire-encoded request: it is a
+            # service instruction, not part of the request's identity (two
+            # submissions at different priorities still dedupe together).
+            priority = record.pop("priority", 0)
+            if not isinstance(priority, int) or isinstance(priority, bool):
+                raise WireFormatError("priority must be an integer")
+            request = decode_request(record)
+            job, deduplicated = await self.manager.submit(request, priority=priority)
             return 200, job.snapshot(deduplicated=deduplicated)
         match = _JOB_ROUTE.match(path)
         if match is not None:
@@ -251,7 +298,13 @@ class ExperimentService:
             duration_seconds=report.duration_seconds,
         )
 
-    async def _route_events(self, writer: asyncio.StreamWriter, method: str, path: str) -> None:
+    async def _route_events(
+        self,
+        writer: asyncio.StreamWriter,
+        method: str,
+        path: str,
+        headers: Dict[str, str],
+    ) -> None:
         match = _JOB_ROUTE.match(path)
         assert match is not None and match.group("tail") == "/events"
         try:
@@ -265,6 +318,15 @@ class ExperimentService:
             )
             await self._send_json(writer, status, payload)
             return
+        # SSE resume: a reconnecting client reports the last event index it
+        # saw; replay starts right after it.
+        after: Optional[int] = None
+        raw_cursor = headers.get("last-event-id", "")
+        if raw_cursor:
+            try:
+                after = int(raw_cursor)
+            except ValueError:
+                after = None
         writer.write(
             b"HTTP/1.1 200 OK\r\n"
             b"Content-Type: text/event-stream\r\n"
@@ -272,8 +334,17 @@ class ExperimentService:
             b"Connection: close\r\n\r\n"
         )
         await writer.drain()
-        async for event in self.manager.events(match.group("job_id")):
+        faults = self.manager.faults
+        async for event in self.manager.events(match.group("job_id"), after=after):
+            if faults is not None:
+                action = faults.fire("sse.stream")
+                if action is not None and action.kind == "drop":
+                    # Sever the stream mid-flight; the client's resume path
+                    # (Last-Event-ID) is what recovers from this.
+                    self.manager.recorder.counter("service.sse_drops")
+                    return
             chunk = (
+                f"id: {event.get('index', 0)}\n"
                 f"event: {event['event']}\n"
                 f"data: {json.dumps(event, sort_keys=True)}\n\n"
             )
@@ -299,10 +370,21 @@ class ExperimentService:
     @staticmethod
     async def _send_json(writer: asyncio.StreamWriter, status: int, payload: object) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf8")
+        extra = ""
+        if status in _RETRY_AFTER_STATUSES and isinstance(payload, dict):
+            # Backpressure responses tell the client when to come back; the
+            # hint comes from the error's own details (deterministic, from
+            # the backoff policy), defaulting to one second.
+            details = payload.get("details")
+            hint = details.get("retry_after") if isinstance(details, dict) else None
+            if not isinstance(hint, (int, float)) or hint <= 0:
+                hint = 1.0
+            extra = f"Retry-After: {max(1, int(round(hint)))}\r\n"
         head = (
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             f"Connection: close\r\n\r\n"
         )
         writer.write(head.encode("latin1") + body)
@@ -384,22 +466,54 @@ def serve(
     registry: Optional[ExperimentRegistry] = None,
     cache: Union[bool, None, str, Path, ResultCache] = True,
     max_workers: Optional[int] = None,
+    journal_dir: Union[None, str, Path] = None,
+    job_timeout: Optional[float] = None,
+    max_retries: int = 0,
+    max_queue: Optional[int] = None,
     stream=None,
 ) -> int:
-    """Run the service until interrupted (the ``repro serve`` entry point)."""
+    """Run the service until interrupted (the ``repro serve`` entry point).
+
+    SIGTERM and SIGINT trigger a graceful drain: the listener closes,
+    running jobs finish (their ``done`` records reach the journal), queued
+    jobs stay journaled for the next start, and only then does the process
+    exit.  A second signal during the drain is ignored — the drain is the
+    shutdown path.
+    """
 
     async def _main() -> None:
         service = ExperimentService(
-            host=host, port=port, registry=registry, cache=cache, max_workers=max_workers
+            host=host,
+            port=port,
+            registry=registry,
+            cache=cache,
+            max_workers=max_workers,
+            journal_dir=journal_dir,
+            job_timeout=job_timeout,
+            max_retries=max_retries,
+            max_queue=max_queue,
         )
         await service.start_async()
         if stream is not None:
             bound_host, bound_port = service.address
             stream.write(f"repro service listening on http://{bound_host}:{bound_port}\n")
             stream.flush()
+        loop = asyncio.get_running_loop()
+        drain = asyncio.Event()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, drain.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # platforms without loop signal handlers fall back to KeyboardInterrupt
+        server_task = asyncio.create_task(service.serve_forever())
+        drain_task = asyncio.create_task(drain.wait())
         try:
-            await service.serve_forever()
+            await asyncio.wait({server_task, drain_task}, return_when=asyncio.FIRST_COMPLETED)
         finally:
+            for task in (server_task, drain_task):
+                task.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await task
             await service.stop_async()
 
     try:

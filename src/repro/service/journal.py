@@ -1,0 +1,299 @@
+"""The persistent job journal: a write-ahead log for the experiment service.
+
+A crashed or restarted server must not lose accepted work.  Every job
+transition the :class:`~repro.service.jobs.JobManager` takes is first
+appended here as one JSONL line (a versioned
+:func:`~repro.api.wire.encode_journal_record` envelope); on startup the
+manager replays the log, re-enqueues jobs that were queued or running at
+crash time, serves already-terminal jobs from the result cache, and compacts
+the log down to its reduced state.
+
+Durability model
+----------------
+* **Appends are a single ``write`` of one complete line**, flushed and (by
+  default) fsynced, so a crash leaves at most one *torn tail* — a final
+  line missing its newline or truncated mid-record.  :meth:`JobJournal.scan`
+  detects torn or foreign lines, skips them, and counts them
+  (:attr:`JobJournal.skipped`); a torn tail is an expected crash artifact,
+  never fatal.
+* **Results never live in the journal.**  Terminal ``done`` records point at
+  the result cache by the job's canonical cache key; replay of a ``done``
+  job whose cache entry was evicted simply re-executes (determinism makes
+  re-execution equivalent to recovery — the replayed result is bit-identical
+  to the lost one at the same seed).
+* **Compaction is an atomic rewrite** (tempfile + ``os.replace``) of the
+  reduced state: one ``submit`` line per live job plus the minimal extra
+  record that preserves its state and attempt count.
+  :func:`reduce_journal` ∘ :func:`compact_records` is the identity on
+  reduced state (property-tested in ``tests/property``).
+
+The reduction itself (:func:`reduce_journal`) is a pure function over record
+lists, so recovery logic is testable without a filesystem.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional
+
+from repro.api.wire import decode_journal_record, encode_journal_record
+from repro.errors import WireFormatError
+
+__all__ = ["JournalEntry", "JobJournal", "reduce_journal", "compact_records"]
+
+#: The journal file name inside a journal directory.
+JOURNAL_FILENAME = "journal.jsonl"
+
+
+@dataclass
+class JournalEntry:
+    """The reduced state of one job after replaying its records."""
+
+    job_id: str
+    request: Dict[str, object]
+    cache_key: str
+    priority: int = 0
+    state: str = "queued"
+    attempt: int = 0
+    error: Optional[Dict[str, object]] = None
+    error_status: int = 500
+    seq: int = 0  # submit order among surviving jobs
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in ("done", "failed")
+
+
+def reduce_journal(records: List[Mapping[str, object]]) -> Dict[str, JournalEntry]:
+    """Fold a record sequence into per-job reduced state.
+
+    Records for jobs that were never submitted (possible after a partial
+    compaction or a torn head) are ignored; later transitions overwrite
+    earlier ones, so the fold is the job state machine itself.
+    """
+    entries: Dict[str, JournalEntry] = {}
+    for record in records:
+        event = record.get("event")
+        job_id = str(record.get("job_id", ""))
+        if event == "submit":
+            request = record.get("request")
+            cache_key = record.get("cache_key")
+            if not isinstance(request, Mapping) or not isinstance(cache_key, str):
+                continue  # ill-shaped submit: unrecoverable, skip the job
+            entries[job_id] = JournalEntry(
+                job_id=job_id,
+                request=dict(request),
+                cache_key=cache_key,
+                priority=int(record.get("priority", 0) or 0),
+                seq=len(entries),
+            )
+            continue
+        entry = entries.get(job_id)
+        if entry is None:
+            continue
+        attempt = record.get("attempt")
+        if isinstance(attempt, int):
+            entry.attempt = attempt
+        if event == "start":
+            entry.state = "running"
+            entry.error = None
+            entry.error_status = 500
+        elif event == "retry":
+            entry.state = "queued"
+            entry.error = None
+            entry.error_status = 500
+        elif event == "done":
+            entry.state = "done"
+            entry.error = None
+            entry.error_status = 500
+        elif event == "failed":
+            entry.state = "failed"
+            error = record.get("error")
+            entry.error = dict(error) if isinstance(error, Mapping) else None
+            status = record.get("status")
+            entry.error_status = int(status) if isinstance(status, int) else 500
+    return entries
+
+
+def compact_records(records: List[Mapping[str, object]]) -> List[Dict[str, object]]:
+    """The minimal record list with the same reduction as ``records``.
+
+    Per job (in submit order): the ``submit`` record, then exactly one extra
+    record when needed to preserve state/attempt — ``start`` for running,
+    ``retry`` for re-queued (attempt > 0), ``done``/``failed`` for terminal.
+    """
+    compacted: List[Dict[str, object]] = []
+    entries = sorted(reduce_journal(records).values(), key=lambda entry: entry.seq)
+    for entry in entries:
+        compacted.append(
+            encode_journal_record(
+                "submit",
+                entry.job_id,
+                request=entry.request,
+                cache_key=entry.cache_key,
+                priority=entry.priority,
+            )
+        )
+        if entry.state == "running":
+            compacted.append(
+                encode_journal_record("start", entry.job_id, attempt=entry.attempt)
+            )
+        elif entry.state == "queued" and entry.attempt > 0:
+            compacted.append(
+                encode_journal_record("retry", entry.job_id, attempt=entry.attempt)
+            )
+        elif entry.state == "done":
+            compacted.append(
+                encode_journal_record("done", entry.job_id, attempt=entry.attempt)
+            )
+        elif entry.state == "failed":
+            compacted.append(
+                encode_journal_record(
+                    "failed",
+                    entry.job_id,
+                    attempt=entry.attempt,
+                    error=entry.error,
+                    status=entry.error_status,
+                )
+            )
+    return compacted
+
+
+@dataclass
+class JobJournal:
+    """An append-only JSONL write-ahead log in one directory.
+
+    ``fsync=True`` (the default) makes every append durable before the
+    manager proceeds; ``fsync=False`` trades the crash window for append
+    latency (the OS still sees every complete line — only power loss can
+    tear more than the tail).  ``faults`` attaches a
+    :class:`~repro.faults.FaultPlan` whose ``journal.append`` site can tear
+    or fail writes deterministically.
+    """
+
+    directory: Path
+    fsync: bool = True
+    faults: Optional[object] = None
+    skipped: int = field(default=0, init=False)  # undecodable lines, last scan
+    appends: int = field(default=0, init=False)
+    _handle: Optional[object] = field(default=None, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.directory = Path(self.directory)
+
+    @property
+    def path(self) -> Path:
+        return self.directory / JOURNAL_FILENAME
+
+    # -- writing --------------------------------------------------------- #
+    def _open(self):
+        if self._handle is None or self._handle.closed:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("ab")
+        return self._handle
+
+    def append(self, event: str, job_id: str, **fields: object) -> None:
+        """Durably append one transition (a single complete JSONL line)."""
+        record = encode_journal_record(event, job_id, **fields)
+        line = json.dumps(record, sort_keys=True).encode("utf8") + b"\n"
+        if self.faults is not None:
+            action = self.faults.fire("journal.append")
+            if action is not None and action.kind == "tear":
+                # Simulate a crash mid-write: only a prefix reaches the disk.
+                handle = self._open()
+                handle.write(line[: max(1, action.keep)])
+                handle.flush()
+                if self.fsync:
+                    os.fsync(handle.fileno())
+                return
+        handle = self._open()
+        handle.write(line)
+        handle.flush()
+        if self.fsync:
+            os.fsync(handle.fileno())
+        self.appends += 1
+
+    # -- reading --------------------------------------------------------- #
+    def scan(self) -> List[Dict[str, object]]:
+        """Every decodable record, in file order; torn or foreign lines are
+        skipped and counted in :attr:`skipped` (a torn *tail* is the normal
+        crash artifact; mid-file damage is tolerated the same way)."""
+        self.skipped = 0
+        records: List[Dict[str, object]] = []
+        if not self.path.is_file():
+            return records
+        with self.path.open("rb") as handle:
+            for raw in handle:
+                line = raw.decode("utf8", errors="replace").strip()
+                if not line:
+                    continue
+                try:
+                    records.append(decode_journal_record(json.loads(line)))
+                except (json.JSONDecodeError, WireFormatError):
+                    self.skipped += 1
+        return records
+
+    def replay(self) -> Dict[str, JournalEntry]:
+        """The reduced per-job state of the current journal file."""
+        return reduce_journal(self.scan())
+
+    # -- compaction ------------------------------------------------------ #
+    def compact(self, drop_terminal: bool = False) -> int:
+        """Atomically rewrite the journal as its reduced state; returns the
+        number of records written.  ``drop_terminal=True`` additionally
+        forgets done/failed jobs (their results live in the cache; their ids
+        become unknown after the *next* restart)."""
+        records = compact_records(self.scan())
+        if drop_terminal:
+            terminal = {
+                record["job_id"] for record in records if record["event"] in ("done", "failed")
+            }
+            records = [record for record in records if record["job_id"] not in terminal]
+        if self._handle is not None and not self._handle.closed:
+            self._handle.close()
+        self._handle = None
+        self.directory.mkdir(parents=True, exist_ok=True)
+        descriptor, tmp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                for record in records:
+                    handle.write(json.dumps(record, sort_keys=True).encode("utf8") + b"\n")
+                handle.flush()
+                if self.fsync:
+                    os.fsync(handle.fileno())
+            os.replace(tmp_name, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return len(records)
+
+    # -- shape ----------------------------------------------------------- #
+    def describe(self) -> Dict[str, object]:
+        """On-disk shape for ``/v1/metrics``: path, record/byte counts, the
+        fsync policy, and how many lines the last scan skipped."""
+        records = 0
+        size = 0
+        if self.path.is_file():
+            size = self.path.stat().st_size
+            with self.path.open("rb") as handle:
+                records = sum(1 for raw in handle if raw.strip())
+        return {
+            "path": str(self.path),
+            "records": records,
+            "bytes": size,
+            "fsync": self.fsync,
+            "skipped_last_scan": self.skipped,
+            "appends": self.appends,
+        }
+
+    def close(self) -> None:
+        if self._handle is not None and not self._handle.closed:
+            self._handle.close()
+        self._handle = None

@@ -9,11 +9,16 @@ import pytest
 from repro.engine.compiler import ProgramCompilationError
 from repro.errors import (
     JobNotFound,
+    JobTimeoutError,
+    QueueFullError,
     ReproError,
+    RetriesExhaustedError,
     ServiceUnavailable,
+    ShuttingDownError,
     WireFormatError,
     error_class_for_code,
     error_payload,
+    iter_error_classes,
 )
 from repro.harness.registry import (
     REGISTRY,
@@ -29,6 +34,10 @@ TAXONOMY = [
     (ProgramCompilationError, "program_compilation", 422),
     (JobNotFound, "job_not_found", 404),
     (ServiceUnavailable, "service_unavailable", 503),
+    (ShuttingDownError, "shutting_down", 503),
+    (QueueFullError, "queue_full", 429),
+    (JobTimeoutError, "job_timeout", 504),
+    (RetriesExhaustedError, "retries_exhausted", 500),
     (WireFormatError, "wire_format", 400),
 ]
 
@@ -57,12 +66,59 @@ class TestTaxonomy:
         assert issubclass(WireFormatError, ValueError)
         assert issubclass(JobNotFound, LookupError)
 
+    def test_backpressure_errors_are_service_unavailable(self):
+        """Pre-taxonomy callers catching ServiceUnavailable still see the
+        refined drain/saturation errors."""
+        assert issubclass(ShuttingDownError, ServiceUnavailable)
+        assert issubclass(QueueFullError, ServiceUnavailable)
+
     def test_registry_validation_raises_taxonomy_members(self):
         spec = REGISTRY["E1"]
         with pytest.raises(UnknownParameterError) as info:
             spec.resolve(overrides={"bogus": 1})
         assert info.value.code == "unknown_parameter"
         assert info.value.details["names"] == ["bogus"]
+
+
+class TestRegistryEnumeration:
+    """The full-taxonomy invariants behind :func:`iter_error_classes`."""
+
+    def test_every_declared_code_is_unique(self):
+        """No two taxonomy members may share a wire code — a collision would
+        make client-side re-raising ambiguous."""
+        classes = iter_error_classes()
+        codes = [cls.code for cls in classes]
+        assert len(codes) == len(set(codes)), f"duplicate codes in {sorted(codes)}"
+        assert "internal" not in codes  # the foreign-exception fallback
+
+    def test_enumeration_covers_the_known_taxonomy(self):
+        classes = set(iter_error_classes())
+        for cls, _code, _status in TAXONOMY:
+            assert cls in classes
+
+    def test_every_member_round_trips_over_the_wire(self):
+        """payload -> code -> class -> payload is lossless for every member
+        of the taxonomy, not just the hand-listed ones."""
+        for cls in iter_error_classes():
+            error = cls.__new__(cls)
+            Exception.__init__(error, "probe message")
+            error.details = {"probe": True}
+            status, payload = error_payload(error)
+            assert status == cls.http_status
+            assert payload["error"] == cls.code
+            resolved = error_class_for_code(payload["error"])
+            assert resolved is not None and resolved.code == cls.code
+            revived = resolved.__new__(resolved)
+            Exception.__init__(revived, str(payload["message"]))
+            revived.details = dict(payload["details"])
+            assert revived.to_payload() == payload
+
+    def test_every_member_declares_its_own_code_and_status(self):
+        for cls in iter_error_classes():
+            assert "code" in cls.__dict__
+            assert isinstance(cls.code, str) and cls.code
+            assert isinstance(cls.http_status, int)
+            assert 400 <= cls.http_status <= 599
 
 
 class TestPayloads:

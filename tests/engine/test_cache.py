@@ -300,6 +300,77 @@ class TestEviction:
         assert cache.stats.evictions == 0
 
 
+class TestEvictionEdges:
+    """Boundary and race behaviour of the eviction policy."""
+
+    def test_entry_exactly_at_ttl_is_still_valid(self, tmp_path):
+        """Expiry is strict (*older* than the TTL): an entry whose age is
+        exactly ``ttl_seconds`` survives; one instant older does not."""
+        cache = ResultCache(tmp_path, ttl_seconds=60.0)
+        key = cache_key("E1", {}, 0)
+        path = cache.put(key, {"rows": []})
+        written = path.stat().st_mtime
+        assert cache.evict(now=written + 60.0) == 0
+        assert cache.get(key) is not None
+        assert cache.evict(now=written + 60.001) == 1
+        assert not path.exists()
+
+    def test_future_mtime_is_never_expired(self, tmp_path):
+        """Clock skew (an mtime ahead of ``now``) must not evict: a negative
+        age is not older than any TTL."""
+        import os as _os
+
+        cache = ResultCache(tmp_path, ttl_seconds=1.0)
+        key = cache_key("E1", {}, 0)
+        path = cache.put(key, {"rows": []})
+        ahead = time.time() + 3600
+        _os.utime(path, (ahead, ahead))
+        assert cache.evict() == 0
+        assert cache.get(key) == {"rows": []}
+
+    def test_lru_eviction_racing_a_concurrent_reader(self, tmp_path):
+        """A reader hammering one key while writes force LRU evictions of
+        that very key: every read is a complete payload or a clean miss,
+        never an exception, and the bound holds throughout."""
+        import threading
+
+        cache = ResultCache(tmp_path, max_entries=1)
+        hot = cache_key("E1", {"hot": True}, 0)
+        errors = []
+        stop = threading.Event()
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    payload = cache.get(hot)
+                    assert payload is None or payload == {"hot": True}
+            except BaseException as error:  # noqa: BLE001 - reported to the test
+                errors.append(error)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        try:
+            for index in range(50):
+                cache.put(hot, {"hot": True})
+                cache.put(cache_key("E1", {"i": index}, 0), {"i": index})  # evicts hot
+        finally:
+            stop.set()
+            thread.join(timeout=30)
+        assert not errors, errors
+        assert len(cache) <= 1
+        assert cache.stats.corrupt == 0
+
+    def test_eviction_of_a_statted_entry_reads_as_miss(self, tmp_path):
+        """An entry deleted between ``__contains__`` and ``get`` (the
+        smallest version of the read/evict race) is a miss, not a crash."""
+        cache = ResultCache(tmp_path)
+        key = cache_key("E1", {}, 0)
+        path = cache.put(key, {"rows": []})
+        assert key in cache
+        path.unlink()
+        assert cache.get(key) is None
+
+
 def _hammer_writes(directory: str, key: str, marker: int, rounds: int) -> int:
     """Worker for the concurrent-writer test: repeatedly publish a large
     payload under one shared key (top-level, hence picklable)."""

@@ -1,0 +1,181 @@
+"""Tests for the deterministic fault-injection harness (repro.faults) and
+the deterministic retry policy (repro.retry).
+
+The load-bearing assertion of the chaos suite lives here: two plans with
+the same seed produce the *same* injected-fault sequence, with no
+wall-clock or unseeded randomness anywhere.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import JobTimeoutError, ServiceUnavailable, WireFormatError
+from repro.faults import FaultPlan, InjectedFault, tear_journal_tail
+from repro.retry import BackoffPolicy, is_retryable, seeded_unit
+
+
+class TestFaultPlanDeterminism:
+    def build(self, seed):
+        return (
+            FaultPlan(seed=seed)
+            .fail("worker.execute", times=2)
+            .stall("sse.stream", seconds=0.0, after=1, times=1)
+            .probability("journal.append", 0.5)
+        )
+
+    def drive(self, plan):
+        for _ in range(6):
+            plan.check("worker.execute")
+            plan.check("journal.append")
+            plan.check("sse.stream")
+        return plan.log
+
+    def test_same_seed_same_fault_sequence(self):
+        """The acceptance criterion: same FaultPlan seed -> same injected
+        fault sequence, independent of anything but (seed, site, hit)."""
+        assert self.drive(self.build(42)) == self.drive(self.build(42))
+
+    def test_interleaving_does_not_change_per_site_decisions(self):
+        ordered = FaultPlan(seed=9).probability("journal.append", 0.4)
+        shuffled = FaultPlan(seed=9).probability("journal.append", 0.4)
+        for _ in range(8):
+            ordered.check("journal.append")
+        for _ in range(8):
+            shuffled.check("sse.stream")  # foreign hits do not perturb the draw
+            shuffled.check("journal.append")
+        ordered_decisions = [entry for entry in ordered.log if entry[0] == "journal.append"]
+        shuffled_decisions = [entry for entry in shuffled.log if entry[0] == "journal.append"]
+        assert ordered_decisions == shuffled_decisions
+
+    def test_different_seeds_can_differ(self):
+        logs = {
+            self.drive(FaultPlan(seed=seed).probability("worker.execute", 0.5))
+            for seed in range(6)
+        }
+        assert len(logs) > 1  # the seed actually matters
+
+    def test_thread_safety_of_hit_counting(self):
+        plan = FaultPlan(seed=0).probability("worker.execute", 0.3)
+        threads = [
+            threading.Thread(target=lambda: [plan.check("worker.execute") for _ in range(50)])
+            for _ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert plan.hits("worker.execute") == 200
+        assert len(plan.log) == 200
+        # every hit index appears exactly once
+        assert sorted(hit for _, hit, _ in plan.log) == list(range(200))
+
+
+class TestFaultWindows:
+    def test_explicit_window_fires_on_exact_hits(self):
+        plan = FaultPlan().fail("worker.execute", times=2, after=1)
+        outcomes = [plan.check("worker.execute") for _ in range(5)]
+        assert [action.kind if action else None for action in outcomes] == [
+            None, "fail", "fail", None, None,
+        ]
+
+    def test_fire_raises_injected_fault(self):
+        plan = FaultPlan().fail("worker.execute", message="kaboom")
+        with pytest.raises(InjectedFault, match="kaboom"):
+            plan.fire("worker.execute")
+        assert plan.fire("worker.execute") is None  # window exhausted
+
+    def test_tear_and_drop_actions_are_returned_not_executed(self):
+        plan = FaultPlan().tear("journal.append", keep=3).drop("sse.stream")
+        tear = plan.fire("journal.append")
+        assert tear is not None and tear.kind == "tear" and tear.keep == 3
+        drop = plan.fire("sse.stream")
+        assert drop is not None and drop.kind == "drop"
+
+    def test_fired_is_the_injected_subset(self):
+        plan = FaultPlan().fail("worker.execute", after=1)
+        plan.check("worker.execute")
+        plan.check("worker.execute")
+        assert plan.fired == (("worker.execute", 1, "fail"),)
+        assert len(plan.log) == 2
+
+    def test_probability_validates_range(self):
+        with pytest.raises(ValueError):
+            FaultPlan().probability("worker.execute", 1.5)
+
+
+class TestTearJournalTail:
+    def test_truncates_by_drop_bytes(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_bytes(b"0123456789")
+        assert tear_journal_tail(path, drop_bytes=4) == 6
+        assert path.read_bytes() == b"012345"
+
+    def test_missing_file_is_a_noop(self, tmp_path):
+        assert tear_journal_tail(tmp_path / "nope.jsonl") == 0
+
+
+class TestBackoffPolicy:
+    def test_schedule_is_deterministic_per_seed_and_key(self):
+        a = BackoffPolicy(seed=5).schedule(6, key="job-key")
+        b = BackoffPolicy(seed=5).schedule(6, key="job-key")
+        assert a == b
+        assert BackoffPolicy(seed=6).schedule(6, key="job-key") != a
+
+    def test_delays_grow_exponentially_up_to_the_cap(self):
+        policy = BackoffPolicy(base=0.1, factor=2.0, cap=0.5, jitter=0.0)
+        assert policy.schedule(5) == (0.1, 0.2, 0.4, 0.5, 0.5)
+
+    def test_jitter_scales_within_bounds(self):
+        policy = BackoffPolicy(base=0.1, factor=1.0, cap=0.1, jitter=0.5, seed=3)
+        for attempt in range(10):
+            delay = policy.delay(attempt, key="k")
+            assert 0.1 <= delay <= 0.15
+
+    def test_different_keys_desynchronize(self):
+        policy = BackoffPolicy(seed=0)
+        assert policy.schedule(4, key="a") != policy.schedule(4, key="b")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(base=0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(factor=0.5)
+        with pytest.raises(ValueError):
+            BackoffPolicy(cap=0.01, base=0.05)
+        with pytest.raises(ValueError):
+            BackoffPolicy(jitter=-1)
+        with pytest.raises(ValueError):
+            BackoffPolicy().delay(-1)
+
+    def test_seeded_unit_is_uniform_ish_and_stable(self):
+        draws = [seeded_unit(0, "k", index) for index in range(200)]
+        assert all(0.0 <= value < 1.0 for value in draws)
+        assert draws == [seeded_unit(0, "k", index) for index in range(200)]
+        assert 0.35 < sum(draws) / len(draws) < 0.65
+
+
+class TestRetryability:
+    def test_timeouts_are_retryable(self):
+        assert is_retryable(JobTimeoutError("deadline"))
+
+    def test_deliberate_taxonomy_errors_are_not(self):
+        assert not is_retryable(WireFormatError("bad record"))
+        assert not is_retryable(ServiceUnavailable("draining"))
+
+    def test_foreign_exceptions_are_retryable(self):
+        assert is_retryable(OSError("connection reset"))
+        assert is_retryable(RuntimeError("worker crashed"))
+
+    def test_explicit_retryable_attribute_wins(self):
+        error = WireFormatError("transient after all")
+        error.retryable = True
+        assert is_retryable(error)
+        crash = RuntimeError("permanent")
+        crash.retryable = False
+        assert not is_retryable(crash)
+
+    def test_injected_faults_are_retryable(self):
+        assert is_retryable(InjectedFault("chaos"))

@@ -1,0 +1,203 @@
+"""Tests for the job journal (repro.service.journal): WAL semantics,
+torn-tail tolerance, reduction, and compaction."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api.wire import encode_journal_record, encode_request
+from repro.errors import WireFormatError
+from repro.faults import FaultPlan, tear_journal_tail
+from repro.service.journal import (
+    JobJournal,
+    compact_records,
+    reduce_journal,
+)
+
+REQUEST = encode_request({"experiment_id": "STUB", "parameters": {"n": 3}, "preset": "full"})
+
+
+def submit(job_id, key="k" * 64, priority=0):
+    return encode_journal_record(
+        "submit", job_id, request=REQUEST, cache_key=key, priority=priority
+    )
+
+
+class TestWireEnvelope:
+    def test_encode_requires_known_event_and_job_id(self):
+        with pytest.raises(WireFormatError):
+            encode_journal_record("exploded", "j000001-aa")
+        with pytest.raises(WireFormatError):
+            encode_journal_record("submit", "")
+
+    def test_records_round_trip_through_json(self):
+        from repro.api.wire import decode_journal_record
+
+        record = submit("j000001-aa", priority=3)
+        assert decode_journal_record(json.loads(json.dumps(record))) == record
+
+    def test_decode_rejects_foreign_records(self):
+        from repro.api.wire import decode_journal_record
+
+        with pytest.raises(WireFormatError):
+            decode_journal_record({"schema": 1, "kind": "job", "event": "submit"})
+        with pytest.raises(WireFormatError):
+            decode_journal_record({"schema": 99, "kind": "journal", "event": "submit"})
+
+
+class TestAppendScan:
+    def test_append_scan_round_trip(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        journal.append("submit", "j000001-aa", request=REQUEST, cache_key="k", priority=0)
+        journal.append("start", "j000001-aa", attempt=0)
+        journal.append("done", "j000001-aa", attempt=0)
+        records = journal.scan()
+        assert [record["event"] for record in records] == ["submit", "start", "done"]
+        assert journal.skipped == 0
+        assert journal.describe()["records"] == 3
+
+    def test_scan_skips_torn_tail_and_counts_it(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        journal.append("submit", "j000001-aa", request=REQUEST, cache_key="k", priority=0)
+        journal.append("start", "j000001-aa", attempt=0)
+        journal.close()
+        tear_journal_tail(journal.path, drop_bytes=9)
+        records = journal.scan()
+        assert [record["event"] for record in records] == ["submit"]
+        assert journal.skipped == 1
+
+    def test_scan_skips_foreign_garbage_lines(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        journal.append("submit", "j000001-aa", request=REQUEST, cache_key="k", priority=0)
+        journal.close()
+        with journal.path.open("ab") as handle:
+            handle.write(b"not json at all\n")
+            handle.write(b'{"schema": 1, "kind": "job"}\n')
+        journal.append("done", "j000001-aa", attempt=0)
+        records = journal.scan()
+        assert [record["event"] for record in records] == ["submit", "done"]
+        assert journal.skipped == 2
+
+    def test_missing_file_scans_empty(self, tmp_path):
+        journal = JobJournal(tmp_path / "nowhere")
+        assert journal.scan() == []
+        assert journal.replay() == {}
+
+    def test_fault_plan_tears_an_append(self, tmp_path):
+        plan = FaultPlan(seed=7).tear("journal.append", keep=5, after=1)
+        journal = JobJournal(tmp_path, faults=plan)
+        journal.append("submit", "j000001-aa", request=REQUEST, cache_key="k", priority=0)
+        journal.append("start", "j000001-aa", attempt=0)  # torn: only 5 bytes land
+        records = journal.scan()
+        assert [record["event"] for record in records] == ["submit"]
+        assert journal.skipped == 1
+        assert plan.fired == (("journal.append", 1, "tear"),)
+
+
+class TestReduction:
+    def test_lifecycle_folds_to_final_state(self):
+        records = [
+            submit("j000001-aa"),
+            encode_journal_record("start", "j000001-aa", attempt=0),
+            encode_journal_record("done", "j000001-aa", attempt=0),
+        ]
+        entries = reduce_journal(records)
+        assert entries["j000001-aa"].state == "done"
+        assert entries["j000001-aa"].terminal
+
+    def test_retry_returns_to_queued_with_attempt(self):
+        records = [
+            submit("j000001-aa"),
+            encode_journal_record("start", "j000001-aa", attempt=0),
+            encode_journal_record("retry", "j000001-aa", attempt=1),
+        ]
+        entry = reduce_journal(records)["j000001-aa"]
+        assert entry.state == "queued" and entry.attempt == 1
+
+    def test_failed_carries_error_payload_and_status(self):
+        payload = {"error": "job_timeout", "message": "deadline", "details": {}}
+        records = [
+            submit("j000001-aa"),
+            encode_journal_record(
+                "failed", "j000001-aa", attempt=2, error=payload, status=504
+            ),
+        ]
+        entry = reduce_journal(records)["j000001-aa"]
+        assert entry.state == "failed"
+        assert entry.error == payload and entry.error_status == 504
+
+    def test_events_without_submit_are_ignored(self):
+        records = [encode_journal_record("done", "j000009-zz", attempt=0)]
+        assert reduce_journal(records) == {}
+
+    def test_submit_order_is_preserved_in_seq(self):
+        records = [submit("j000002-bb"), submit("j000001-aa")]
+        entries = reduce_journal(records)
+        assert entries["j000002-bb"].seq == 0
+        assert entries["j000001-aa"].seq == 1
+
+
+class TestCompaction:
+    def lifecycle_records(self):
+        return [
+            submit("j000001-aa", priority=2),
+            encode_journal_record("start", "j000001-aa", attempt=0),
+            encode_journal_record("done", "j000001-aa", attempt=0),
+            submit("j000002-bb"),
+            encode_journal_record("start", "j000002-bb", attempt=0),
+            encode_journal_record("retry", "j000002-bb", attempt=1),
+            submit("j000003-cc"),
+            encode_journal_record("start", "j000003-cc", attempt=0),
+            submit("j000004-dd"),
+        ]
+
+    def test_compaction_preserves_reduced_state(self):
+        records = self.lifecycle_records()
+        compacted = compact_records(records)
+        assert len(compacted) < len(records) + 1
+        original = reduce_journal(records)
+        roundtrip = reduce_journal(compacted)
+        assert set(original) == set(roundtrip)
+        for job_id, entry in original.items():
+            other = roundtrip[job_id]
+            assert (entry.state, entry.attempt, entry.priority, entry.error) == (
+                other.state,
+                other.attempt,
+                other.priority,
+                other.error,
+            )
+
+    def test_compact_rewrites_the_file_atomically(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        for record in self.lifecycle_records():
+            journal.append(record["event"], record["job_id"], **{
+                field: value
+                for field, value in record.items()
+                if field not in ("schema", "kind", "event", "job_id")
+            })
+        before = journal.replay()
+        count = journal.compact()
+        assert count == journal.describe()["records"]
+        after = journal.replay()
+        assert {job_id: entry.state for job_id, entry in before.items()} == {
+            job_id: entry.state for job_id, entry in after.items()
+        }
+        assert not list(tmp_path.glob("*.tmp"))  # no leftover temp files
+
+    def test_compact_can_drop_terminal_jobs(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        journal.append("submit", "j000001-aa", request=REQUEST, cache_key="k", priority=0)
+        journal.append("done", "j000001-aa", attempt=0)
+        journal.append("submit", "j000002-bb", request=REQUEST, cache_key="q", priority=0)
+        journal.compact(drop_terminal=True)
+        entries = journal.replay()
+        assert set(entries) == {"j000002-bb"}
+
+    def test_append_after_compact_reopens_the_file(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        journal.append("submit", "j000001-aa", request=REQUEST, cache_key="k", priority=0)
+        journal.compact()
+        journal.append("done", "j000001-aa", attempt=0)
+        assert [record["event"] for record in journal.scan()] == ["submit", "done"]

@@ -1,0 +1,223 @@
+"""Recovery behaviour over real HTTP: SSE resume via Last-Event-ID,
+Retry-After backpressure, client reconnect/retry budgets, and journal
+replay across a service restart."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import Client
+from repro.api.wire import encode_request
+from repro.errors import QueueFullError, ServiceUnavailable
+from repro.faults import FaultPlan
+from repro.harness.registry import ExperimentRegistry
+from repro.retry import BackoffPolicy
+from repro.service import ServiceThread
+from tests.service.conftest import Gate, stub_spec
+
+
+def fast_backoff():
+    return BackoffPolicy(base=0.02, factor=1.0, cap=0.02, jitter=0.0)
+
+
+def sse_get(url, job_id, last_event_id=None):
+    """Raw SSE GET; returns the decoded event payloads."""
+    headers = {}
+    if last_event_id is not None:
+        headers["Last-Event-ID"] = str(last_event_id)
+    request = urllib.request.Request(f"{url}/v1/jobs/{job_id}/events", headers=headers)
+    events = []
+    with urllib.request.urlopen(request, timeout=10) as response:
+        for raw in response:
+            line = raw.decode("utf8").strip()
+            if line.startswith("data:"):
+                events.append(json.loads(line[5:].strip()))
+    return events
+
+
+class TestSSEResume:
+    def test_last_event_id_resumes_after_the_cursor(self, registry, tmp_path):
+        with ServiceThread(port=0, registry=registry, cache=tmp_path / "c") as service:
+            client = Client(service.url, registry=registry)
+            job = client.submit("STUB").wait()
+            full = sse_get(service.url, job.id)
+            resumed = sse_get(service.url, job.id, last_event_id=0)
+        assert [event["event"] for event in full] == ["start", "done"]
+        assert [event["index"] for event in full] == [0, 1]
+        assert [event["event"] for event in resumed] == ["done"]
+
+    def test_cursor_beyond_log_on_terminal_job_resends_terminal(
+        self, registry, tmp_path
+    ):
+        """A restarted server replays a shorter event log; a client holding a
+        stale high cursor must still receive a terminal event, not hang."""
+        with ServiceThread(port=0, registry=registry, cache=tmp_path / "c") as service:
+            client = Client(service.url, registry=registry)
+            job = client.submit("STUB").wait()
+            events = sse_get(service.url, job.id, last_event_id=17)
+        assert [event["event"] for event in events] == ["done"]
+
+    def test_dropped_sse_frame_reconnects_transparently(self, registry, tmp_path):
+        """A seeded fault severs the stream mid-flight; Client.stream resumes
+        with Last-Event-ID and still yields every event exactly once."""
+        plan = FaultPlan(seed=5).drop("sse.stream", times=1)
+        with ServiceThread(
+            port=0, registry=registry, cache=tmp_path / "c", faults=plan
+        ) as service:
+            client = Client(
+                service.url, registry=registry, retries=3, backoff=fast_backoff()
+            )
+            job = client.submit("STUB")
+            kinds = [event["event"] for event in job.stream()]
+            metrics = client.metrics()
+        assert kinds == ["start", "done"]
+        assert plan.fired == (("sse.stream", 0, "drop"),)
+        assert metrics["counters"]["service.sse_drops"] == 1
+
+
+class TestBackpressure:
+    def saturated(self, tmp_path):
+        gate = Gate()
+        registry = ExperimentRegistry([gate.spec()])
+        service = ServiceThread(
+            port=0,
+            registry=registry,
+            cache=tmp_path / "c",
+            max_workers=1,
+            max_queue=1,
+        )
+        return gate, registry, service
+
+    def test_queue_full_maps_to_429_with_retry_after(self, tmp_path):
+        gate, registry, service = self.saturated(tmp_path)
+        with service:
+            client = Client(service.url, registry=registry, retries=0)
+            running = client.submit("GATED", n=1)
+            queued = client.submit("GATED", n=2)
+            body = encode_request(client.request("GATED", n=3))
+            request = urllib.request.Request(
+                f"{service.url}/v1/jobs",
+                data=json.dumps(body).encode(),
+                method="POST",
+            )
+            with pytest.raises(urllib.error.HTTPError) as info:
+                urllib.request.urlopen(request, timeout=10)
+            assert info.value.code == 429
+            assert int(info.value.headers["Retry-After"]) >= 1
+            payload = json.loads(info.value.read().decode("utf8"))
+            assert payload["error"] == "queue_full"
+            assert payload["details"]["max_queue"] == 1
+            # the typed client raises the taxonomy member
+            with pytest.raises(QueueFullError):
+                client.submit("GATED", n=4)
+            gate.open()
+            running.wait()
+            queued.wait()
+            metrics = client.metrics()
+        # every accepted job completed; the rejected ones never became jobs
+        assert running.state == "done" and queued.state == "done"
+        assert metrics["counters"]["service.rejected"] == 2
+        assert metrics["jobs"]["done"] == 2
+
+    def test_client_retries_429_until_capacity_frees(self, tmp_path):
+        gate, registry, service = self.saturated(tmp_path)
+        with service:
+            client = Client(service.url, registry=registry, retries=4)
+            client.submit("GATED", n=1)
+            client.submit("GATED", n=2)
+            timer = threading.Timer(0.3, gate.open)
+            timer.start()
+            try:
+                # saturated now; accepted once Retry-After elapses and the
+                # gate has drained the queue
+                job = client.submit("GATED", n=3)
+                job.wait()
+            finally:
+                timer.cancel()
+        assert job.state == "done"
+
+
+class TestDeadServer:
+    def test_requests_fail_typed_not_hang(self, registry, tmp_path):
+        service = ServiceThread(port=0, registry=registry, cache=tmp_path / "c")
+        with service:
+            url = service.url
+        # the listener is gone; a fresh client must not hang or leak OSError
+        client = Client(url, registry=registry, retries=1, backoff=fast_backoff())
+        with pytest.raises(ServiceUnavailable) as info:
+            client.health()
+        assert info.value.details["attempts"] == 2
+
+    def test_stream_budget_exhausts_on_a_silent_server(self, tmp_path):
+        """A wedged job emits nothing; the read timeout reconnects a bounded
+        number of times, then surfaces a typed error instead of hanging."""
+        gate = Gate()
+        registry = ExperimentRegistry([gate.spec()])
+        with ServiceThread(
+            port=0, registry=registry, cache=tmp_path / "c"
+        ) as service:
+            client = Client(
+                service.url,
+                registry=registry,
+                retries=1,
+                backoff=fast_backoff(),
+                stream_timeout=0.25,
+            )
+            job = client.submit("GATED")
+            with pytest.raises(ServiceUnavailable, match="without a terminal"):
+                for _ in job.stream():
+                    pass
+            gate.open()
+            job.wait()
+        assert job.state == "done"
+
+
+class TestRestartRecovery:
+    def test_journal_replay_across_service_restart(self, tmp_path):
+        """Submit, complete, stop the service, start a new one on the same
+        journal + cache: the same job id answers with a bit-identical
+        result record."""
+        registry = ExperimentRegistry([stub_spec()])
+        dirs = dict(cache=tmp_path / "cache", journal_dir=tmp_path / "journal")
+        with ServiceThread(port=0, registry=registry, **dirs) as service:
+            client = Client(service.url, registry=registry)
+            job = client.submit("STUB", n=5)
+            job.wait()
+            first = client.result_record(job.id)
+
+        with ServiceThread(port=0, registry=registry, **dirs) as service:
+            client = Client(service.url, registry=registry)
+            record = client.status(job.id)
+            assert record["state"] == "done"
+            second = client.result_record(job.id)
+            metrics = client.metrics()
+
+        assert second["result"] == first["result"]
+        assert metrics["journal"]["enabled"] is True
+        assert metrics["journal"]["records"] >= 2
+        assert metrics["counters"].get("service.executions", 0) == 0
+
+    def test_metrics_expose_queue_retry_and_journal_sections(self, tmp_path):
+        registry = ExperimentRegistry([stub_spec()])
+        with ServiceThread(
+            port=0,
+            registry=registry,
+            cache=tmp_path / "cache",
+            journal_dir=tmp_path / "journal",
+            job_timeout=30.0,
+            max_retries=2,
+            max_queue=64,
+        ) as service:
+            client = Client(service.url, registry=registry)
+            client.submit("STUB").wait()
+            metrics = client.metrics()
+        assert metrics["queue"]["max_queue"] == 64
+        assert metrics["retry"]["max_retries"] == 2
+        assert metrics["retry"]["job_timeout"] == 30.0
+        assert metrics["retry"]["backoff"]["seed"] == 0
+        assert metrics["journal"]["path"].endswith("journal.jsonl")
