@@ -1,0 +1,79 @@
+"""The unified finding/report model shared by every analyzer in
+:mod:`repro.check`.
+
+A :class:`Finding` is one rule violation anchored to a file and line; a
+:class:`Report` is an ordered collection with the two renderings the CLI
+exposes (``--format text`` / ``--format json``).  Findings sort by
+``(path, line, rule)`` so reports are deterministic regardless of analyzer
+order.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+__all__ = ["Finding", "Report"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation: ``rule`` id, ``path`` (repo-relative when the
+    analyzer can make it so), 1-indexed ``line``, human-readable
+    ``message``."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+@dataclass
+class Report:
+    """An ordered, deduplicated set of findings plus the rules that ran."""
+
+    findings: List[Finding] = field(default_factory=list)
+    rules: Tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def extend(self, findings: Iterable[Finding]) -> None:
+        self.findings.extend(findings)
+
+    def finalize(self) -> "Report":
+        """Sort and dedupe in place; returns ``self`` for chaining."""
+        self.findings = sorted(set(self.findings))
+        return self
+
+    def render_text(self) -> str:
+        if not self.findings:
+            return f"ok: 0 findings ({len(self.rules)} rules)"
+        lines = [finding.render() for finding in self.findings]
+        lines.append(f"{len(self.findings)} finding(s)")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "ok": self.ok,
+                "count": len(self.findings),
+                "rules": list(self.rules),
+                "findings": [finding.to_dict() for finding in self.findings],
+            },
+            indent=2,
+            sort_keys=True,
+        )

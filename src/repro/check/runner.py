@@ -1,0 +1,53 @@
+"""Drive every analyzer over the package tree and fold the results into one
+:class:`~repro.check.findings.Report` — the engine behind
+``python -m repro check``."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Optional, Tuple
+
+from repro.check.concurrency import CONCURRENCY_RULES, check_concurrency_tree
+from repro.check.findings import Report
+from repro.check.lint import LINT_RULES, check_error_codes, lint_tree
+
+__all__ = ["ALL_RULES", "run_checks", "default_root"]
+
+#: Every rule ``run_checks`` knows, in catalog order.
+ALL_RULES: Tuple[str, ...] = LINT_RULES + ("ERR001",) + CONCURRENCY_RULES
+
+
+def default_root() -> Path:
+    """The installed ``repro`` package directory (the default scan root)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def run_checks(
+    root: Optional[Path] = None, select: Optional[Iterable[str]] = None
+) -> Report:
+    """Run the selected rules (default: all) over ``root`` (default: the
+    ``repro`` package) and return a finalized report.
+
+    Raises ``ValueError`` for unknown rule ids — a typo in ``--select`` must
+    not silently run nothing and report success.
+    """
+    root = default_root() if root is None else Path(root)
+    selected = tuple(ALL_RULES) if select is None else tuple(dict.fromkeys(select))
+    unknown = [rule for rule in selected if rule not in ALL_RULES]
+    if unknown:
+        raise ValueError(
+            f"unknown rule(s) {', '.join(sorted(unknown))}; "
+            f"known: {', '.join(ALL_RULES)}"
+        )
+    report = Report(rules=selected)
+    lint_selected = [rule for rule in selected if rule in LINT_RULES]
+    if lint_selected:
+        report.extend(lint_tree(root, select=lint_selected))
+    if "ERR001" in selected:
+        report.extend(check_error_codes(package_root=root))
+    concurrency_selected = [rule for rule in selected if rule in CONCURRENCY_RULES]
+    if concurrency_selected:
+        report.extend(check_concurrency_tree(root, select=concurrency_selected))
+    return report.finalize()

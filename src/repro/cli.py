@@ -10,6 +10,7 @@ Usage::
     python -m repro run all --quick --trace trace.jsonl --metrics
     python -m repro cache stats
     python -m repro serve --port 8765
+    python -m repro check --format json
     python -m repro report --results benchmarks/results --output EXPERIMENTS.md
 
 ``run`` resolves the selected experiments of DESIGN.md's index against the
@@ -252,6 +253,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="retry budget for retryable failures per job (default: 0, fail fast)",
     )
 
+    check_parser = subparsers.add_parser(
+        "check",
+        help="run the static checks (determinism lint, IR contracts, "
+        "concurrency discipline) over the installed package",
+    )
+    check_parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text; json is the CI artifact shape)",
+    )
+    check_parser.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all; "
+        "e.g. --select DET001,CON001)",
+    )
+
     report_parser = subparsers.add_parser(
         "report", help="render a directory of JSON artifacts as EXPERIMENTS.md"
     )
@@ -386,6 +406,25 @@ def _command_serve(args: argparse.Namespace, stream) -> int:
     )
 
 
+def _command_check(args: argparse.Namespace, stream) -> int:
+    # Imported here so the run/report paths never pay for the analyzers.
+    from repro.check import run_checks
+
+    select = None
+    if args.select is not None:
+        select = [rule.strip() for rule in args.select.split(",") if rule.strip()]
+    try:
+        report = run_checks(select=select)
+    except ValueError as error:
+        _say(sys.stderr, str(error))
+        return 2
+    if args.format == "json":
+        _say(stream, report.to_json())
+    else:
+        _say(stream, report.render_text())
+    return 0 if report.ok else 1
+
+
 def _command_report(args: argparse.Namespace, stream) -> int:
     results = load_results_directory(args.results)
     if not results:
@@ -412,6 +451,8 @@ def main(argv: Optional[Sequence[str]] = None, stream=None) -> int:
         return _command_cache(args, stream)
     if args.command == "serve":
         return _command_serve(args, stream)
+    if args.command == "check":
+        return _command_check(args, stream)
     if args.command == "report":
         return _command_report(args, stream)
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover

@@ -209,7 +209,7 @@ class ResultCache:
         self.ttl_seconds = ttl_seconds
         self.max_entries = max_entries
         self.max_bytes = max_bytes
-        self.stats = CacheStats()
+        self.stats = CacheStats()  # guarded-by: _stats_lock
         self._stats_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #

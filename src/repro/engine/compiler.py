@@ -51,6 +51,7 @@ still honoured (it compiles to :func:`coin` / :func:`const`); see
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from functools import cached_property
 from typing import TYPE_CHECKING, Callable, Dict, Hashable, List, Optional, Tuple
@@ -681,6 +682,12 @@ def compile_decision(decider: "Decider", configuration: "Configuration") -> Comp
     ) as span:
         compiled = _compile_decision(decider, configuration)
         span.annotate(nodes=compiled.n_nodes, programs=len(compiled.programs))
+    if os.environ.get("REPRO_CHECK_IR", "") not in ("", "0"):
+        # Lazy import: repro.check.ir imports this module, and the hook is
+        # opt-in (CI / tests), so production compiles pay nothing.
+        from repro.check.ir import verify_compiled_decision
+
+        verify_compiled_decision(compiled)
     return compiled
 
 

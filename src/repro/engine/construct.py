@@ -52,6 +52,7 @@ comparing runs at different seeds must use *distant* seeds (e.g. 0 and
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from functools import cached_property
 from typing import (
@@ -74,8 +75,9 @@ from repro.engine.compiler import (
     lower_program,
 )
 from repro.engine.executor import _resolve_max_bytes
+from repro.errors import ReproError
 from repro.local.ball import collect_ball
-from repro.local.randomness import derive_seed
+from repro.local.randomness import derive_generator
 from repro.obs import get_recorder
 from repro.stats import PrecisionTarget, ProbabilityEstimate, sequential_estimate
 
@@ -218,9 +220,16 @@ def evaluate_output_expr(expr: OutputExpr, tape) -> object:
     raise TypeError(f"not an output expression: {expr!r}")
 
 
-class ConstructionCompilationError(ValueError):
+class ConstructionCompilationError(ReproError, ValueError):
     """A constructor's output program exceeds what the construction engine
-    can express (non-hashable values, oversized alphabets, ...)."""
+    can express (non-hashable values, oversized alphabets, ...).
+
+    Part of the wire taxonomy so the service can report a malformed
+    constructor as a client error instead of a generic 500.
+    """
+
+    code = "construction_compilation"
+    http_status = 422
 
 
 # --------------------------------------------------------------------------- #
@@ -398,6 +407,12 @@ def compile_construction(constructor: object, network: "Network") -> CompiledCon
         constructor=str(getattr(constructor, "name", constructor)),
     ) as compile_span:
         compiled = _compile_construction(constructor, network, compile_span)
+    if os.environ.get("REPRO_CHECK_IR", "") not in ("", "0"):
+        # Lazy import: the verifier imports this module, and the hook is
+        # opt-in (CI / tests), so production compiles pay nothing.
+        from repro.check.ir import verify_compiled_construction
+
+        verify_compiled_construction(compiled)
     return compiled
 
 
@@ -688,14 +703,12 @@ class FusedDecision:
         n = self.compiled.n_nodes
         rows = np.arange(n)
         generators = [
-            np.random.default_rng(
-                derive_seed(
-                    int(seed),
-                    "construct-fast-decide",
-                    salt,
-                    self.decider_name,
-                    int(self.compiled.identities[position]),
-                )
+            derive_generator(
+                int(seed),
+                "construct-fast-decide",
+                salt,
+                self.decider_name,
+                int(self.compiled.identities[position]),
             )
             for position in range(n)
         ]
@@ -743,10 +756,8 @@ class FusedDecision:
         for position in range(n):
             code = int(code_row[position])
             if self.draws[position, code]:
-                generator = np.random.default_rng(
-                    derive_seed(
-                        int(master_seed), salt, int(self.compiled.identities[position])
-                    )
+                generator = derive_generator(
+                    int(master_seed), salt, int(self.compiled.identities[position])
                 )
                 takes_true = float(generator.random()) < self.thresholds[position, code]
                 votes[position] = (
@@ -950,14 +961,12 @@ class ConstructionStream:
         self._generators: List[np.random.Generator] = []
         if mode == "fast":
             self._generators = [
-                np.random.default_rng(
-                    derive_seed(
-                        int(seed),
-                        "construct-fast",
-                        self._salt,
-                        compiled.constructor_name,
-                        int(compiled.identities[position]),
-                    )
+                derive_generator(
+                    int(seed),
+                    "construct-fast",
+                    self._salt,
+                    compiled.constructor_name,
+                    int(compiled.identities[position]),
                 )
                 for position in compiled.random_index
             ]
@@ -991,12 +1000,10 @@ class ConstructionStream:
                 for trial in range(count):
                     master = int(self._trial_seed(start + trial))
                     for position, program in zip(random_positions, programs):
-                        tape_seed = derive_seed(
+                        generator = derive_generator(
                             master, self._salt, int(compiled.identities[position])
                         )
-                        codes[trial, position] = program.sample_exact(
-                            np.random.default_rng(tape_seed)
-                        )
+                        codes[trial, position] = program.sample_exact(generator)
                 return codes
             trial_block = max(1, self._max_bytes // (8 * max(len(random_positions), 1)))
             for lo in range(0, count, trial_block):

@@ -50,7 +50,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Tuple
 import numpy as np
 
 from repro.engine.compiler import ACCEPT, CompiledDecision, VoteProgram
-from repro.local.randomness import derive_seed
+from repro.local.randomness import derive_generator
 from repro.obs import get_recorder
 from repro.stats import PrecisionTarget, ProbabilityEstimate, sequential_estimate
 
@@ -110,14 +110,12 @@ def _fast_node_generator(
     """One coin-flipping node's fast-mode generator, derived from the node
     identity — so the stream a node sees is independent of which block (and
     which ``max_bytes``) it lands in."""
-    return np.random.default_rng(
-        derive_seed(
-            int(seed),
-            "engine-fast",
-            salt,
-            compiled.decider_name,
-            int(compiled.identities[position]),
-        )
+    return derive_generator(
+        int(seed),
+        "engine-fast",
+        salt,
+        compiled.decider_name,
+        int(compiled.identities[position]),
     )
 
 
@@ -223,8 +221,9 @@ def _exact_walker(
     compiled: CompiledDecision, position: int, master_seed: int, salt: object
 ) -> Callable[[], float]:
     """Sequential uniforms of one node's reference tape for one trial."""
-    tape_seed = derive_seed(int(master_seed), salt, int(compiled.identities[position]))
-    generator = np.random.default_rng(tape_seed)
+    generator = derive_generator(
+        int(master_seed), salt, int(compiled.identities[position])
+    )
     return lambda: float(generator.random())
 
 

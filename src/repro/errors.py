@@ -37,6 +37,7 @@ __all__ = [
     "JobTimeoutError",
     "RetriesExhaustedError",
     "WireFormatError",
+    "IRVerificationError",
     "error_payload",
     "error_class_for_code",
     "iter_error_classes",
@@ -130,6 +131,20 @@ class WireFormatError(ReproError, ValueError):
     http_status = 400
 
 
+class IRVerificationError(ReproError, ValueError):
+    """A compiled program violates the engine IR's structural contract
+    (cycle, bad arity, probability outside ``[0, 1]``, draw index beyond the
+    cap, inconsistent CSR, or a closed-form claim that does not re-derive).
+
+    Raised by :mod:`repro.check.ir`; defined here (not in the check package)
+    so the engine can surface it without importing the analyzers.  A
+    verification failure means the *compiler* produced a malformed program —
+    an internal invariant break, hence status 500."""
+
+    code = "ir_verification"
+    http_status = 500
+
+
 def error_payload(error: BaseException) -> Tuple[int, Dict[str, object]]:
     """The ``(http_status, payload)`` of any exception.
 
@@ -160,6 +175,7 @@ def iter_error_classes() -> Tuple[Type[ReproError], ...]:
     # Imported lazily: the concrete errors live in deeper layers that import
     # this module themselves.
     import repro.engine.compiler  # noqa: F401
+    import repro.engine.construct  # noqa: F401
     import repro.harness.registry  # noqa: F401
 
     classes: List[Type[ReproError]] = []

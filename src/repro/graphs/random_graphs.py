@@ -29,6 +29,21 @@ __all__ = [
 ]
 
 
+def _instance_rng(seed: int) -> np.random.Generator:
+    """The RNG used to *sample input instances* (graphs), seeded directly.
+
+    Instance sampling is deliberately outside the execution-tape convention
+    of :mod:`repro.local.randomness`: a graph is part of the problem input,
+    not of an execution, so its seed is its complete provenance — there is no
+    ``(master_seed, salt, identity)`` derivation chain to preserve, and tying
+    graph generation to the tape layer would couple instance identity to
+    engine internals.  This helper is the module's single RNG constructor;
+    the DET001 allowlist entry for ``graphs/random_graphs.py`` in
+    :mod:`repro.check.config` points here.
+    """
+    return np.random.default_rng(seed)
+
+
 def _ids_for(nodes, ids: str, seed: int, start: int):
     if ids == "consecutive":
         return consecutive_ids(nodes, start=start)
@@ -60,7 +75,7 @@ def random_regular_network(
         raise ValueError("degree must be smaller than n")
     if (n * degree) % 2 != 0:
         raise ValueError("n * degree must be even for a regular graph to exist")
-    rng = np.random.default_rng(seed)
+    rng = _instance_rng(seed)
     for _ in range(max_attempts):
         graph = nx.random_regular_graph(degree, n, seed=int(rng.integers(0, 2**31 - 1)))
         if not require_connected or nx.is_connected(graph):
@@ -94,7 +109,7 @@ def bounded_degree_gnp_network(
         raise ValueError("p must lie in [0, 1]")
     if max_degree < 1:
         raise ValueError("max_degree must be at least 1")
-    rng = np.random.default_rng(seed)
+    rng = _instance_rng(seed)
     base = nx.gnp_random_graph(n, p, seed=int(rng.integers(0, 2**31 - 1)))
     edges = list(base.edges())
     rng.shuffle(edges)
@@ -134,7 +149,7 @@ def random_tree_network(
         graph = nx.Graph()
         graph.add_edge(0, 1)
     else:
-        rng = np.random.default_rng(seed)
+        rng = _instance_rng(seed)
         prufer = [int(v) for v in rng.integers(0, n, size=n - 2)]
         graph = nx.from_prufer_sequence(prufer)
     return Network(graph, _ids_for(list(graph.nodes()), ids, seed, id_start), inputs)

@@ -271,10 +271,12 @@ class TraceRecorder(Recorder):
     EXPORT_SCHEMA = 1
 
     def __init__(self) -> None:
-        self.spans: List[Span] = []
-        self.counters: Dict[str, int] = {}
-        self.histograms: Dict[str, HistogramSummary] = {}
-        self._stack: List[Span] = []
+        # A recorder belongs to the thread that created it (worker recorders
+        # are merged into the parent via export/merge, never shared live).
+        self.spans: List[Span] = []  # loop-confined
+        self.counters: Dict[str, int] = {}  # loop-confined
+        self.histograms: Dict[str, HistogramSummary] = {}  # loop-confined
+        self._stack: List[Span] = []  # loop-confined
 
     # ------------------------------------------------------------------ #
     def span(self, name: str, **attributes: object) -> _SpanHandle:

@@ -132,20 +132,21 @@ class Job:
         self.request = request
         self.cache_key = cache_key
         self.priority = priority
-        self.state = JobState.QUEUED
-        self.from_cache = False
-        self.subscribers = 1
-        self.attempt = 0
-        self.report: Optional[RunReport] = None
-        self.error: Optional[Dict[str, object]] = None
-        self.error_status = 500
+        self.state = JobState.QUEUED  # loop-confined
+        self.from_cache = False  # loop-confined
+        self.subscribers = 1  # loop-confined
+        self.attempt = 0  # loop-confined
+        self.report: Optional[RunReport] = None  # loop-confined
+        self.error: Optional[Dict[str, object]] = None  # loop-confined
+        self.error_status = 500  # loop-confined
         self.created_at = time.time()
-        self.enqueued_at = time.perf_counter()
-        self.queue_wait_seconds: Optional[float] = None
-        self.events: List[Dict[str, object]] = []
-        self.task: Optional[asyncio.Task] = None
+        self.enqueued_at = time.perf_counter()  # loop-confined
+        self.queue_wait_seconds: Optional[float] = None  # loop-confined
+        self.events: List[Dict[str, object]] = []  # loop-confined
+        self.task: Optional[asyncio.Task] = None  # loop-confined
         # Futures of event-stream consumers waiting for the next event; all
         # access is confined to the event loop thread, so no lock is needed.
+        # loop-confined
         self._waiters: List[asyncio.Future] = []
 
     @property
@@ -272,15 +273,16 @@ class JobManager:
             if journal_dir is not None
             else None
         )
-        self._jobs: Dict[str, Job] = {}
-        self._inflight: Dict[str, Job] = {}
-        self._queue: List[Tuple[int, int, Job]] = []  # (-priority, seq, job)
-        self._seq = itertools.count()
-        self._running = 0  # logical execution slots in use
-        self._tasks: Set[asyncio.Task] = set()
-        self._ids = itertools.count(1)
-        self._closed = False
-        self._started = False
+        self._jobs: Dict[str, Job] = {}  # loop-confined
+        self._inflight: Dict[str, Job] = {}  # loop-confined
+        # loop-confined: (-priority, seq, job) heap entries
+        self._queue: List[Tuple[int, int, Job]] = []
+        self._seq = itertools.count()  # loop-confined
+        self._running = 0  # loop-confined: logical execution slots in use
+        self._tasks: Set[asyncio.Task] = set()  # loop-confined
+        self._ids = itertools.count(1)  # loop-confined
+        self._closed = False  # loop-confined
+        self._started = False  # loop-confined
 
     # ------------------------------------------------------------------ #
     def _resolve_key(self, request: RunRequest) -> str:

@@ -178,8 +178,10 @@ class JobJournal:
     directory: Path
     fsync: bool = True
     faults: Optional[object] = None
-    skipped: int = field(default=0, init=False)  # undecodable lines, last scan
-    appends: int = field(default=0, init=False)
+    # loop-confined: undecodable lines, last scan
+    skipped: int = field(default=0, init=False)
+    appends: int = field(default=0, init=False)  # loop-confined
+    # loop-confined
     _handle: Optional[object] = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:

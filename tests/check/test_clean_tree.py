@@ -1,0 +1,50 @@
+"""The tree at HEAD is clean under every rule — the invariant CI gates on —
+and the CLI front-end reports it with exit code 0 (and structured JSON)."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.check import ALL_RULES, run_checks
+from repro.cli import main
+
+
+def test_clean_tree_has_zero_findings():
+    report = run_checks()
+    assert report.ok, "HEAD must be clean:\n" + report.render_text()
+    assert report.rules == ALL_RULES
+
+
+def test_unknown_rule_raises():
+    import pytest
+
+    with pytest.raises(ValueError, match="BOGUS"):
+        run_checks(select=["BOGUS"])
+
+
+def test_cli_text_format():
+    stream = io.StringIO()
+    assert main(["check"], stream=stream) == 0
+    assert "ok: 0 findings" in stream.getvalue()
+
+
+def test_cli_json_format():
+    stream = io.StringIO()
+    assert main(["check", "--format", "json"], stream=stream) == 0
+    payload = json.loads(stream.getvalue())
+    assert payload["ok"] is True
+    assert payload["count"] == 0
+    assert payload["findings"] == []
+    assert list(payload["rules"]) == list(ALL_RULES)
+
+
+def test_cli_select_subset():
+    stream = io.StringIO()
+    assert main(["check", "--select", "DET001,CON001"], stream=stream) == 0
+    assert "2 rules" in stream.getvalue()
+
+
+def test_cli_unknown_rule_exits_2():
+    stream = io.StringIO()
+    assert main(["check", "--select", "NOPE"], stream=stream) == 2

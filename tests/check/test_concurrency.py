@@ -1,0 +1,231 @@
+"""CON001–CON003 fire on their deliberate-violation fixtures and accept the
+disciplined shapes (lock held, loop-confined writes on the loop side of
+``call_soon_threadsafe``, construction-time writes)."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.check.concurrency import check_concurrency_source
+
+PATH = "service/fixture.py"
+
+
+def findings_for(source: str, select=None):
+    return check_concurrency_source(textwrap.dedent(source), PATH, select=select)
+
+
+# --------------------------------------------------------------------------- #
+# CON001 — guarded writes must hold the lock
+# --------------------------------------------------------------------------- #
+CON001_VIOLATION = """\
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self.total = 0  # guarded-by: _lock
+        self._lock = threading.Lock()
+
+    def bump(self):
+        self.total += 1  # line 10: write without the lock
+"""
+
+
+def test_con001_flags_unlocked_write():
+    found = findings_for(CON001_VIOLATION)
+    assert [(f.rule, f.path, f.line) for f in found] == [("CON001", PATH, 10)]
+    assert "_lock" in found[0].message
+
+
+def test_con001_accepts_locked_write():
+    clean = """\
+    import threading
+
+
+    class Counter:
+        def __init__(self):
+            self.total = 0  # guarded-by: _lock
+            self._lock = threading.Lock()
+
+        def bump(self):
+            with self._lock:
+                self.total += 1
+
+        def set_field(self, value):
+            with self._lock:
+                setattr(self.total, "field", value)
+    """
+    assert findings_for(clean) == []
+
+
+def test_con001_flags_setattr_and_through_writes():
+    source = """\
+    import threading
+
+
+    class Holder:
+        def __init__(self):
+            self.stats = object()  # guarded-by: _lock
+            self._lock = threading.Lock()
+
+        def poke(self):
+            setattr(self.stats, "hits", 1)
+            self.stats.misses = 2
+    """
+    found = findings_for(source)
+    assert [(f.rule, f.line) for f in found] == [("CON001", 10), ("CON001", 11)]
+
+
+def test_con001_init_is_exempt():
+    # The annotated declaration itself is a write without the lock — and is
+    # fine: construction happens before the object is shared.
+    assert findings_for(CON001_VIOLATION, select=["CON003"]) == []
+
+
+# --------------------------------------------------------------------------- #
+# CON002 — loop-confined attributes never written on a worker thread
+# --------------------------------------------------------------------------- #
+CON002_VIOLATION = """\
+import threading
+
+
+class Manager:
+    def __init__(self):
+        self.state = "queued"  # loop-confined
+
+    def start(self):
+        threading.Thread(target=self._work, daemon=True).start()
+
+    def _work(self):
+        self.state = "running"  # line 12: thread-side write
+"""
+
+
+def test_con002_flags_thread_side_write():
+    found = findings_for(CON002_VIOLATION)
+    assert [(f.rule, f.path, f.line) for f in found] == [("CON002", PATH, 12)]
+    assert "state" in found[0].message
+
+
+def test_con002_follows_transitive_calls():
+    source = """\
+    import threading
+
+
+    class Manager:
+        def __init__(self):
+            self.state = "queued"  # loop-confined
+
+        def start(self):
+            threading.Thread(target=self._work).start()
+
+        def _work(self):
+            self._finish()
+
+        def _finish(self):
+            self.state = "done"
+    """
+    found = findings_for(source)
+    assert [(f.rule, f.line) for f in found] == [("CON002", 15)]
+
+
+def test_con002_call_soon_threadsafe_hand_off_is_clean():
+    # The sanctioned pattern: the worker computes, then schedules the state
+    # write onto the loop.  ``_resolve`` is referenced (not called) by the
+    # thread, so it is not thread-reachable.
+    clean = """\
+    import threading
+
+
+    class Manager:
+        def __init__(self, loop):
+            self.loop = loop
+            self.state = "queued"  # loop-confined
+
+        def start(self):
+            threading.Thread(target=self._work).start()
+
+        def _work(self):
+            result = 42
+
+            def _resolve():
+                self.state = result
+
+            self.loop.call_soon_threadsafe(_resolve)
+    """
+    assert findings_for(clean) == []
+
+
+def test_con002_loop_side_methods_are_clean():
+    clean = """\
+    class Manager:
+        def __init__(self):
+            self.state = "queued"  # loop-confined
+
+        def transition(self):
+            self.state = "running"
+    """
+    # No thread entry point in the module: every write is loop-side.
+    assert findings_for(clean) == []
+
+
+# --------------------------------------------------------------------------- #
+# CON003 — the annotations themselves must be well-formed
+# --------------------------------------------------------------------------- #
+def test_con003_flags_unknown_lock():
+    source = """\
+    class Broken:
+        def __init__(self):
+            self.value = 0  # guarded-by: missing_lock
+    """
+    found = findings_for(source)
+    assert [(f.rule, f.line) for f in found] == [("CON003", 3)]
+    assert "missing_lock" in found[0].message
+
+
+def test_con003_flags_nameless_guard():
+    source = """\
+    import threading
+
+
+    class Broken:
+        def __init__(self):
+            self.value = 0  # guarded-by:
+            self._lock = threading.Lock()
+    """
+    found = findings_for(source)
+    assert [(f.rule, f.line) for f in found] == [("CON003", 6)]
+    assert "names no lock" in found[0].message
+
+
+def test_annotation_on_comment_line_above_is_honored():
+    source = """\
+    class Broken:
+        def __init__(self):
+            # guarded-by: missing_lock
+            self.value = 0
+    """
+    found = findings_for(source)
+    assert [(f.rule, f.line) for f in found] == [("CON003", 3)]
+
+
+def test_dataclass_field_annotations_are_honored():
+    source = """\
+    from dataclasses import dataclass, field
+
+
+    @dataclass
+    class Journal:
+        appends: int = field(default=0)  # loop-confined
+
+        def start(self):
+            import threading
+
+            threading.Thread(target=self.flush).start()
+
+        def flush(self):
+            self.appends += 1
+    """
+    found = findings_for(source)
+    assert [(f.rule, f.line) for f in found] == [("CON002", 14)]

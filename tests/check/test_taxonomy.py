@@ -1,0 +1,61 @@
+"""The signal registry is internally consistent, and DESIGN.md's taxonomy
+table is exactly what the registry renders (no drift in either direction)."""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.obs.taxonomy import (
+    COUNTER_NAMES,
+    HISTOGRAM_NAMES,
+    KINDS,
+    SIGNALS,
+    SPAN_NAMES,
+    render_taxonomy_markdown,
+    signal_names,
+)
+
+DESIGN = Path(__file__).resolve().parents[2] / "DESIGN.md"
+BEGIN = "<!-- BEGIN span-taxonomy (generated from repro.obs.taxonomy) -->"
+END = "<!-- END span-taxonomy -->"
+
+
+def test_registry_shape():
+    assert KINDS == ("span", "counter", "histogram")
+    keys = [(signal.name, signal.kind) for signal in SIGNALS]
+    assert len(keys) == len(set(keys)), "duplicate (name, kind) registration"
+    for signal in SIGNALS:
+        assert signal.kind in KINDS
+        assert signal.layer
+        assert signal.description
+
+
+def test_signal_names_partition():
+    assert signal_names("span") == SPAN_NAMES
+    assert signal_names("counter") == COUNTER_NAMES
+    assert signal_names("histogram") == HISTOGRAM_NAMES
+    assert SPAN_NAMES  # at least the engine spans exist
+    # A name may legitimately appear as several kinds (cache.write is both a
+    # span and a counter), but never twice within one kind.
+    for kind in KINDS:
+        in_kind = [s.name for s in SIGNALS if s.kind == kind]
+        assert len(in_kind) == len(set(in_kind))
+
+
+def test_render_is_a_single_table():
+    rendered = render_taxonomy_markdown()
+    lines = rendered.strip().splitlines()
+    assert lines[0].startswith("| signal | kind |")
+    assert all(line.startswith("|") for line in lines)
+    assert len(lines) == len(SIGNALS) + 2  # header + separator + one per signal
+
+
+def test_design_block_matches_registry():
+    text = DESIGN.read_text(encoding="utf-8")
+    match = re.search(re.escape(BEGIN) + r"\n(.*?)" + re.escape(END), text, re.DOTALL)
+    assert match, "DESIGN.md lost its generated span-taxonomy block"
+    assert match.group(1) == render_taxonomy_markdown(), (
+        "DESIGN.md's taxonomy table has drifted from repro.obs.taxonomy; "
+        "re-render it with render_taxonomy_markdown()"
+    )

@@ -6,6 +6,11 @@ import os
 
 import pytest
 
+# Run every engine compile under the IR verifier (repro.check.ir).  Opt-out
+# (REPRO_CHECK_IR=0) stays possible for timing comparisons; production runs
+# never pay — the hook is off unless the variable is set.
+os.environ.setdefault("REPRO_CHECK_IR", "1")
+
 try:  # Hypothesis is a test-only extra; the property suite skips without it.
     from hypothesis import HealthCheck, settings
 
