@@ -16,8 +16,10 @@ host, in the *same* run): ``--check`` fails when a workload's speedup drops
 more than ``--tolerance`` (default 30%) below the baseline's, or below its
 hard ``min_speedup`` floor (the E2/E3/E7 floors are the ≥5× acceptance
 criterion of the decision engine; the E6 ≥10× / E8 ≥3× / E9 ≥10× floors are
-the acceptance criterion of the construction engine; the throughput
-microbenchmark keeps its ≥10× guard).  Workloads without an engine path are
+the acceptance criterion of the construction engine; the fused-sweep
+workload's ≥5× floor is the whole-sweep fusion acceptance criterion — its
+ratio is ``fuse="off"`` vs ``fuse="on"`` through ``Session.sweep``; the
+throughput microbenchmark keeps its ≥10× guard).  Workloads without an engine path are
 reported for trajectory tracking but not gated.  Use ``--update-baseline``
 after an intentional performance change, and ``--profile`` to print each
 workload's top-10 cumulative cProfile hotspots after the timed passes.
@@ -80,6 +82,10 @@ class Workload:
     engine_comparable: bool = True
     #: Hard floor on the engine-vs-off speedup (None: report only).
     min_speedup: Optional[float] = None
+    #: Set for fused-sweep workloads: the sweep grid.  The gated ratio is
+    #: then ``fuse="off"`` vs ``fuse="on"`` through ``Session.sweep`` (both
+    #: passes at the workload's own ``engine``), not engine-vs-off.
+    sweep_grid: Optional[Dict[str, object]] = None
 
     def run(self, engine: Optional[str] = None) -> object:
         """Run the workload through the Session facade; ``engine`` is threaded
@@ -88,6 +94,12 @@ class Workload:
         if engine is not None:
             overrides["engine"] = engine
         return SESSION.run(self.experiment, **overrides).result
+
+    def run_sweep(self, fuse: str) -> object:
+        """Run the workload's grid through ``Session.sweep`` with the given
+        ``fuse`` mode; only valid when ``sweep_grid`` is set."""
+        assert self.sweep_grid is not None
+        return SESSION.sweep(self.experiment, self.sweep_grid, fuse=fuse, **self.params)
 
 
 def _throughput_workload() -> Dict[str, float]:
@@ -124,6 +136,24 @@ WORKLOADS: List[Workload] = [
             decider_trials=800,
             seed=0,
         ),
+        min_speedup=5.0,
+    ),
+    Workload(
+        # The whole-sweep fusion workload: one 12-point ε grid over a shared
+        # (seed, size, trials) configuration, timed per-point (fuse="off")
+        # versus fused (fuse="on").  The ≥5× floor is the fusion acceptance
+        # criterion; the two passes are bit-identical by contract, so every
+        # point verdict must be "pass" in both.
+        name="sweep_e2_fusion",
+        file="bench_sweep_fusion.py",
+        experiment="E2",
+        params=dict(sizes=(240,), trials=1200, decider_trials=30, seed=0, engine="auto"),
+        sweep_grid={
+            "eps_values": [
+                [0.80], [0.78], [0.76], [0.74], [0.72], [0.70],
+                [0.67], [0.66], [0.64], [0.61], [0.60], [0.59],
+            ]
+        },
         min_speedup=5.0,
     ),
     Workload(
@@ -290,11 +320,18 @@ def _workload_telemetry(workload: Workload) -> Dict[str, object]:
     recorder = TraceRecorder()
     session = Session(cache=None, telemetry=recorder)
     overrides = dict(workload.params)
-    overrides["engine"] = "fast"
-    session.run(workload.experiment, **overrides)
+    if workload.sweep_grid is not None:
+        # Fused-sweep workloads trace their fused pass (the workload's own
+        # engine mode), surfacing the engine.fuse* spans and counters.
+        session.sweep(workload.experiment, workload.sweep_grid, fuse="on", **overrides)
+        engine_label = str(overrides.get("engine", "auto")) + " (fuse=on)"
+    else:
+        overrides["engine"] = "fast"
+        session.run(workload.experiment, **overrides)
+        engine_label = "fast"
     summary = summarize(recorder.export())
     return {
-        "engine": "fast",
+        "engine": engine_label,
         "spans": {
             name: {key: round(value, 4) if isinstance(value, float) else value
                    for key, value in record.items()}
@@ -380,7 +417,26 @@ def run_suite(
             "repeats": repeats,
             "min_speedup": workload.min_speedup,
         }
-        if workload.engine_comparable:
+        if workload.sweep_grid is not None:
+            # Fused-sweep workload: the gated ratio is per-point (fuse="off")
+            # vs fused (fuse="on") through Session.sweep, both medianed.
+            record["sweep_grid"] = workload.sweep_grid
+            off_seconds, off_report = _median_timed(
+                lambda w=workload: w.run_sweep("off"), repeats
+            )
+            median_seconds, report = _median_timed(
+                lambda w=workload: w.run_sweep("on"), repeats
+            )
+            record["off_seconds"] = round(off_seconds, 4)
+            record["median_seconds"] = round(median_seconds, 4)
+            record["speedup_vs_off"] = round(off_seconds / median_seconds, 2)
+            verdicts = {
+                row["verdict"]
+                for sweep_report in (off_report, report)
+                for row in sweep_report.table.rows
+            }
+            record["matches_paper"] = verdicts == {"pass"}
+        elif workload.engine_comparable:
             # The reference pass is medianed like the engine pass: the gated
             # metric is their ratio, so a single noisy off timing would put
             # its full variance straight into the regression gate.
@@ -419,12 +475,12 @@ def run_suite(
             record["telemetry"] = _workload_telemetry(workload)
         records[workload.name] = record
         if profile:
-            engine = "fast" if workload.engine_comparable else None
-            _profile_workload(
-                workload.name,
-                lambda w=workload, e=engine: w.run(e),
-                profile_dir=profile_dir,
-            )
+            if workload.sweep_grid is not None:
+                profiled: Callable[[], object] = lambda w=workload: w.run_sweep("on")
+            else:
+                engine = "fast" if workload.engine_comparable else None
+                profiled = lambda w=workload, e=engine: w.run(e)  # noqa: E731
+            _profile_workload(workload.name, profiled, profile_dir=profile_dir)
 
     if not only or "engine_throughput" in only:
         print(f"[bench] engine_throughput ({THROUGHPUT_FILE}) ...", flush=True)

@@ -1,0 +1,37 @@
+"""Whole-sweep fusion — one mega-batched construction matrix per grid.
+
+Benchmarks ``Session.sweep(..., fuse="on")`` on an E2 ε grid whose points
+share a (seed, size, trials) configuration: the fused path compiles the
+construction matrix once and lowers every point's decision DAG against the
+shared code matrix, where the per-point path regenerates it for each point.
+Bit-identity is the contract — the fused report must equal the per-point
+report exactly, rows and verdict columns included — so this bench asserts
+equality on a small grid before timing the fused pass.
+(`bench_suite.py` guards the ≥5× fused-vs-per-point speedup on the full
+8-point grid.)
+"""
+
+from conftest import run_once
+
+from repro.api import Session
+
+GRID = {"eps_values": [[0.75], [0.65]]}
+FIXED = dict(sizes=(60,), trials=200, decider_trials=60, seed=0, engine="auto")
+
+
+def test_sweep_fusion_bit_identity(benchmark):
+    # No record_experiment here: this bench's artifact is the timing plus the
+    # exactness assertion, not a full-scale experiment table (writing one
+    # would clobber results/e2.json with a small-grid point).
+    session = Session(cache=None)
+    per_point = session.sweep("E2", GRID, fuse="off", **FIXED)
+    fused = run_once(
+        benchmark, lambda: Session(cache=None).sweep("E2", GRID, fuse="on", **FIXED)
+    )
+    assert fused.plan is not None and fused.plan.has_fusion
+    assert [run.result.to_dict() for run in fused.reports] == [
+        run.result.to_dict() for run in per_point.reports
+    ]
+    assert fused.table.rows == per_point.table.rows
+    for row in fused.table.rows:
+        assert row["verdict"] == "pass"

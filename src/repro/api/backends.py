@@ -32,6 +32,7 @@ import os
 import time
 from typing import Dict, Iterator, Optional, Sequence, Union
 
+from repro.engine.fusion import fusion_scope
 from repro.engine.parallel import ParallelSweepRunner
 from repro.harness.results import ExperimentResult
 from repro.obs import TraceRecorder, get_recorder, use_recorder
@@ -44,6 +45,7 @@ __all__ = [
     "BACKEND_CHOICES",
     "resolve_backend",
     "execute_payload",
+    "execute_group_payload",
 ]
 
 
@@ -61,6 +63,22 @@ def execute_payload(payload: Dict[str, object], registry=None) -> Dict[str, obje
 
     spec = registry[str(payload["experiment_id"])]
     return spec.run(payload.get("parameters", {})).to_dict()
+
+
+def execute_group_payload(
+    payloads: Sequence[Dict[str, object]], registry=None
+) -> list:
+    """Run one fusion group's payloads in submission order under a shared
+    :class:`~repro.engine.fusion.FusionContext` (top-level, picklable — the
+    worker entry point of grouped execution).
+
+    Singleton groups skip the context: there is nothing to share, and the
+    plain path is what the group would be bit-identical to anyway.
+    """
+    if len(payloads) <= 1:
+        return [execute_payload(payload, registry) for payload in payloads]
+    with fusion_scope(points=len(payloads)):
+        return [execute_payload(payload, registry) for payload in payloads]
 
 
 def _result_from(record: Dict[str, object]) -> ExperimentResult:
@@ -94,6 +112,28 @@ def _traced_execute_payload(item: Dict[str, object]) -> Dict[str, object]:
     }
 
 
+def _traced_execute_group(item: Dict[str, object]) -> Dict[str, object]:
+    """Grouped counterpart of :func:`_traced_execute_payload`: runs one
+    fusion group under a fresh worker recorder (the ``engine.fuse_group``
+    span and its hit/miss tallies ride back inside the export)."""
+    payloads: Sequence[Dict[str, object]] = item["payloads"]  # type: ignore[assignment]
+    queue_wait = max(0.0, time.time() - float(item["submitted_at"]))
+    recorder = TraceRecorder()
+    with use_recorder(recorder):
+        with recorder.span(
+            "backend.worker",
+            pid=os.getpid(),
+            points=len(payloads),
+            queue_wait_seconds=round(queue_wait, 6),
+        ):
+            records = execute_group_payload(payloads)
+    return {
+        "records": records,
+        "telemetry": recorder.export(),
+        "queue_wait_seconds": queue_wait,
+    }
+
+
 class ExecutionBackend:
     """Interface: run payloads, yield results in submission order.
 
@@ -108,6 +148,23 @@ class ExecutionBackend:
         self, payloads: Sequence[Dict[str, object]], registry=None
     ) -> Iterator[ExperimentResult]:
         raise NotImplementedError
+
+    def execute_grouped(
+        self,
+        groups: Sequence[Sequence[Dict[str, object]]],
+        registry=None,
+    ) -> Iterator[ExperimentResult]:
+        """Execute fusion groups, yielding results flattened in group order
+        (submission order within each group).
+
+        The base implementation runs each group through :meth:`execute`
+        with no shared context — correct for every backend (fusion shares
+        work, never randomness), so backends unaware of fusion keep working;
+        the inline and process-pool backends override this to install a
+        :class:`~repro.engine.fusion.FusionContext` per group.
+        """
+        for payloads in groups:
+            yield from self.execute(payloads, registry)
 
 
 class InlineBackend(ExecutionBackend):
@@ -128,6 +185,32 @@ class InlineBackend(ExecutionBackend):
                 record = execute_payload(payload, registry)
             yield _result_from(record)
 
+    def execute_grouped(
+        self,
+        groups: Sequence[Sequence[Dict[str, object]]],
+        registry=None,
+    ) -> Iterator[ExperimentResult]:
+        recorder = get_recorder()
+        for payloads in groups:
+            if len(payloads) <= 1:
+                yield from self.execute(payloads, registry)
+                continue
+            # Eager within the group: the fusion context must not stay
+            # installed across yields (a generator's ContextVar writes leak
+            # into the consumer between next() calls), so the group runs to
+            # completion under the scope and the results stream out after.
+            results = []
+            with fusion_scope(points=len(payloads), backend=self.name):
+                for payload in payloads:
+                    with recorder.span(
+                        "backend.task",
+                        backend=self.name,
+                        experiment_id=str(payload.get("experiment_id")),
+                    ):
+                        record = execute_payload(payload, registry)
+                    results.append(_result_from(record))
+            yield from results
+
 
 class ProcessPoolBackend(ExecutionBackend):
     """Fan requests out over worker processes.
@@ -144,9 +227,8 @@ class ProcessPoolBackend(ExecutionBackend):
             raise ValueError("max_workers must be positive (or None for one per CPU)")
         self.max_workers = max_workers
 
-    def execute(
-        self, payloads: Sequence[Dict[str, object]], registry=None
-    ) -> Iterator[ExperimentResult]:
+    @staticmethod
+    def _check_registry(registry) -> None:
         # A registry instance cannot be shipped to the workers — a fresh
         # process resolves payload ids through the importable global registry
         # only.  Running a *custom* registry here would silently execute the
@@ -160,6 +242,11 @@ class ProcessPoolBackend(ExecutionBackend):
                     "shipped repro.harness.registry.REGISTRY inside its worker "
                     "processes; use the inline or batch backend with a custom registry"
                 )
+
+    def execute(
+        self, payloads: Sequence[Dict[str, object]], registry=None
+    ) -> Iterator[ExperimentResult]:
+        self._check_registry(registry)
         runner = ParallelSweepRunner(max_workers=self.max_workers, seed_parameter=None)
         recorder = get_recorder()
         if not recorder.active:
@@ -186,6 +273,44 @@ class ProcessPoolBackend(ExecutionBackend):
             ):
                 recorder.merge(telemetry)
             yield _result_from(wrapped["record"])
+
+    def execute_grouped(
+        self,
+        groups: Sequence[Sequence[Dict[str, object]]],
+        registry=None,
+    ) -> Iterator[ExperimentResult]:
+        """Shard across fusion groups: one worker task per group, fusion
+        inside the worker (a shared matrix cannot cross process boundaries),
+        results streaming back flattened in group-submission order."""
+        self._check_registry(registry)
+        runner = ParallelSweepRunner(max_workers=self.max_workers, seed_parameter=None)
+        recorder = get_recorder()
+        tasks = [list(payloads) for payloads in groups]
+        if not recorder.active:
+            for records in runner.imap(execute_group_payload, tasks):
+                for record in records:
+                    yield _result_from(record)
+            return
+        items = [
+            {"payloads": payloads, "submitted_at": time.time()} for payloads in tasks
+        ]
+        for item, wrapped in zip(items, runner.imap(_traced_execute_group, items)):
+            telemetry: Dict[str, object] = wrapped["telemetry"]  # type: ignore[assignment]
+            worker_spans = telemetry.get("spans") or []
+            compute = worker_spans[0].get("wall_seconds", 0.0) if worker_spans else 0.0
+            with recorder.span(
+                "backend.task",
+                backend=self.name,
+                experiment_id=str(item["payloads"][0].get("experiment_id"))
+                if item["payloads"]
+                else None,
+                points=len(item["payloads"]),
+                queue_wait_seconds=round(float(wrapped["queue_wait_seconds"]), 6),
+                compute_seconds=round(float(compute), 6),
+            ):
+                recorder.merge(telemetry)
+            for record in wrapped["records"]:
+                yield _result_from(record)
 
 
 class BatchBackend(ExecutionBackend):

@@ -36,6 +36,7 @@ from typing import (
 from repro.analysis.sweep import SweepResult, grid_points, merge_point_row
 from repro.api.backends import ExecutionBackend, resolve_backend
 from repro.engine.cache import ResultCache
+from repro.engine.fusion import FusedSweepPlan
 from repro.engine.parallel import point_seed
 from repro.obs import NULL_RECORDER, Recorder, TraceRecorder, pop_recorder, push_recorder
 from repro.harness.registry import (
@@ -56,7 +57,11 @@ __all__ = [
     "Session",
     "PRESET_FULL",
     "PRESET_QUICK",
+    "FUSE_CHOICES",
 ]
+
+#: The ``Session.sweep(fuse=...)`` settings.
+FUSE_CHOICES = ("auto", "on", "off")
 
 
 @dataclass(frozen=True)
@@ -155,10 +160,14 @@ ProgressCallback = Callable[[ProgressEvent], None]
 @dataclass
 class SweepReport:
     """The outcome of :meth:`Session.sweep`: per-point reports in grid order
-    plus the flat summary table the analysis layer consumes."""
+    plus the flat summary table the analysis layer consumes.
+
+    ``plan`` is the :class:`~repro.engine.fusion.FusedSweepPlan` the sweep
+    executed under, or ``None`` when it ran point by point."""
 
     reports: List[RunReport] = field(default_factory=list)
     table: SweepResult = field(default_factory=SweepResult)
+    plan: Optional[FusedSweepPlan] = None
 
     def __len__(self) -> int:
         return len(self.reports)
@@ -313,6 +322,7 @@ class Session:
         self,
         requests: Sequence[RunRequest],
         progress: Optional[ProgressCallback],
+        plan: Optional[FusedSweepPlan] = None,
     ) -> Iterator[RunReport]:
         emit = progress if progress is not None else self.progress
         total = len(requests)
@@ -342,48 +352,129 @@ class Session:
                         continue
             misses.append((index, request, key))
 
+        if plan is not None:
+            yield from self._run_grouped(requests, cached, misses, plan, emit, total)
+            return
+
         executing = self.backend.execute(
             [request.to_payload() for _, request, _ in misses], registry=self.registry
         )
         miss_iterator = iter(misses)
         for index, request in enumerate(requests):
             if index in cached:
-                report, hit_key = cached[index]
-                with self._request_span(request, hit_key, from_cache=True):
-                    pass
-                if emit is not None:
-                    emit(ProgressEvent("cached", request, index, total, report))
-                yield report
+                yield self._serve_cached(cached[index], index, total, emit)
                 continue
             miss_index, miss_request, key = next(miss_iterator)
             assert miss_index == index
             if emit is not None:
                 emit(ProgressEvent("start", request, index, total))
-            with self._request_span(request, key, from_cache=False):
-                started = time.perf_counter()
-                result = next(executing)
-                duration = time.perf_counter() - started
-                cache_path = None
-                if self.cache is not None and key is not None:
-                    cache_path = self.cache.put(
-                        key,
-                        result.to_dict(),
-                        key_fields={
-                            "experiment_id": request.experiment_id,
-                            "parameters": request.kwargs,
-                            "preset": request.preset,
-                        },
-                    )
-            report = RunReport(
-                request=request,
-                result=result,
-                from_cache=False,
-                cache_path=cache_path,
-                duration_seconds=duration,
-            )
-            if emit is not None:
-                emit(ProgressEvent("done", request, index, total, report))
+            report = self._execute_miss(executing, request, key, index, total, emit)
             yield report
+
+    def _serve_cached(
+        self,
+        hit: Tuple[RunReport, str],
+        index: int,
+        total: int,
+        emit: Optional[ProgressCallback],
+    ) -> RunReport:
+        report, hit_key = hit
+        with self._request_span(report.request, hit_key, from_cache=True):
+            pass
+        if emit is not None:
+            emit(ProgressEvent("cached", report.request, index, total, report))
+        return report
+
+    def _execute_miss(
+        self,
+        executing: Iterator[ExperimentResult],
+        request: RunRequest,
+        key: Optional[str],
+        index: int,
+        total: int,
+        emit: Optional[ProgressCallback],
+    ) -> RunReport:
+        """Consume one backend result for ``request``: span, cache write
+        (before the ``done`` event — the progress contract), report."""
+        with self._request_span(request, key, from_cache=False):
+            started = time.perf_counter()
+            try:
+                result = next(executing)
+            except StopIteration:
+                raise RuntimeError(
+                    f"backend {self.backend.name!r} yielded fewer results than "
+                    f"requests: nothing left for request {index + 1} of {total} "
+                    f"({request.experiment_id})"
+                ) from None
+            duration = time.perf_counter() - started
+            cache_path = None
+            if self.cache is not None and key is not None:
+                cache_path = self.cache.put(
+                    key,
+                    result.to_dict(),
+                    key_fields={
+                        "experiment_id": request.experiment_id,
+                        "parameters": request.kwargs,
+                        "preset": request.preset,
+                    },
+                )
+        report = RunReport(
+            request=request,
+            result=result,
+            from_cache=False,
+            cache_path=cache_path,
+            duration_seconds=duration,
+        )
+        if emit is not None:
+            emit(ProgressEvent("done", request, index, total, report))
+        return report
+
+    def _run_grouped(
+        self,
+        requests: Sequence[RunRequest],
+        cached: Dict[int, Tuple[RunReport, str]],
+        misses: List[Tuple[int, RunRequest, Optional[str]]],
+        plan: FusedSweepPlan,
+        emit: Optional[ProgressCallback],
+        total: int,
+    ) -> Iterator[RunReport]:
+        """The fused execution path: misses are partitioned into the plan's
+        fusion groups, the backend shards across groups (fusing within each),
+        and results — which arrive flattened in group order, not request
+        order — are buffered just long enough to yield in request order."""
+        grouped: Dict[int, List[Tuple[int, RunRequest, Optional[str]]]] = {}
+        group_order: List[int] = []
+        for entry in misses:
+            group = plan.group_of(entry[0])
+            if group not in grouped:
+                group_order.append(group)
+                grouped[group] = []
+            grouped[group].append(entry)
+        group_lists = [grouped[group] for group in group_order]
+        executing = self.backend.execute_grouped(
+            [[request.to_payload() for _, request, _ in group] for group in group_lists],
+            registry=self.registry,
+        )
+        arrival_order = iter([entry for group in group_lists for entry in group])
+        ready: Dict[int, RunReport] = {}
+        for index, request in enumerate(requests):
+            if index in cached:
+                yield self._serve_cached(cached[index], index, total, emit)
+                continue
+            while index not in ready:
+                try:
+                    miss_index, miss_request, key = next(arrival_order)
+                except StopIteration:  # pragma: no cover - mirrors _execute_miss
+                    raise RuntimeError(
+                        f"backend {self.backend.name!r} yielded fewer results "
+                        f"than requests during a fused sweep"
+                    ) from None
+                if emit is not None:
+                    emit(ProgressEvent("start", miss_request, miss_index, total))
+                ready[miss_index] = self._execute_miss(
+                    executing, miss_request, key, miss_index, total, emit
+                )
+            yield ready.pop(index)
 
     def run_many(
         self,
@@ -434,6 +525,7 @@ class Session:
         grid: Mapping[str, Sequence[object]],
         preset: str = PRESET_FULL,
         progress: Optional[ProgressCallback] = None,
+        fuse: str = "auto",
         **fixed: object,
     ) -> SweepReport:
         """A first-class parameter sweep: the Cartesian grid becomes one
@@ -446,8 +538,28 @@ class Session:
         count, and grid shape.  The returned :class:`SweepReport` carries the
         per-point reports plus a flat :class:`SweepResult` summary table
         (point parameters + verdict/provenance columns) in grid order.
+
+        ``fuse`` selects whole-sweep fusion (:mod:`repro.engine.fusion`):
+        points sharing a construction configuration execute against one
+        shared trial matrix instead of resampling it per point.  ``"auto"``
+        (default) fuses when at least two points share a fusion group,
+        ``"on"`` always routes through the plan (unfusible points fall back
+        to singleton groups), ``"off"`` runs point by point.  Fusion shares
+        work, never randomness: the results are bit-identical across the
+        three settings, per-point ``point_seed`` derivation included.
         """
+        if fuse not in FUSE_CHOICES:
+            raise ValueError(
+                f"unknown fuse setting {fuse!r}; expected one of {FUSE_CHOICES}"
+            )
         spec = self.spec(experiment_id)
+        colliding = sorted(set(grid) & set(fixed))
+        if colliding:
+            raise ValueError(
+                f"sweep grid parameters colliding with fixed overrides: "
+                f"{', '.join(colliding)}; pass each parameter through the grid "
+                "or the fixed keywords, not both"
+            )
         points = grid_points(grid)
         requests = []
         for point in points:
@@ -468,15 +580,43 @@ class Session:
             )
             requests.append(RunRequest.create(spec.id, parameters, preset=preset))
 
-        report = SweepReport()
-        for point, run_report in zip(points, self.run_iter(requests, progress=progress)):
+        plan: Optional[FusedSweepPlan] = None
+        if fuse != "off":
+            plan = FusedSweepPlan.build(spec, requests)
+            if fuse == "auto" and not plan.has_fusion:
+                plan = None
+
+        token = push_recorder(self.telemetry)
+        try:
+            if plan is not None:
+                with self.telemetry.span(
+                    "engine.fuse",
+                    experiment_id=spec.id,
+                    points=len(requests),
+                    groups=len(plan.groups),
+                    fused_points=plan.fused_points,
+                    backend=self.backend.name,
+                ):
+                    run_reports = list(self._run_iter(requests, progress, plan=plan))
+            else:
+                run_reports = list(self._run_iter(requests, progress))
+        finally:
+            pop_recorder(token)
+
+        report = SweepReport(plan=plan)
+        for point, run_report in zip(points, run_reports, strict=True):
+            result = run_report.result
             report.reports.append(run_report)
             report.table.rows.append(
                 merge_point_row(
                     point,
                     {
-                        "matches_paper": run_report.result.matches_paper,
-                        "row_count": len(run_report.result.rows),
+                        "verdict": result.verdict,
+                        "matches_paper": result.matches_paper,
+                        "trials_used": result.trials_used,
+                        "ci_low": result.ci_low,
+                        "ci_high": result.ci_high,
+                        "row_count": len(result.rows),
                         "from_cache": run_report.from_cache,
                     },
                 )

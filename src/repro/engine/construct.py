@@ -110,6 +110,7 @@ __all__ = [
     "FusedDecision",
     "compile_fused_decision",
     "batched_success_counts",
+    "batched_bad_counts",
     "batched_acceptance_and_membership",
     "batched_far_acceptance",
     "ConstructionStream",
@@ -820,6 +821,44 @@ def compile_fused_decision(
 # --------------------------------------------------------------------------- #
 # Batched counterparts of the derandomization estimators
 # --------------------------------------------------------------------------- #
+def _active_fusion():
+    """The ambient :class:`repro.engine.fusion.FusionContext`, if any.
+
+    Lazy import: :mod:`repro.engine.fusion` imports this module, and the
+    ambient context only exists inside a fused sweep group, so stand-alone
+    estimator calls pay one ContextVar read."""
+    from repro.engine.fusion import active_fusion
+
+    return active_fusion()
+
+
+def _shared_codes(
+    compiled: CompiledConstruction,
+    trials: int,
+    seed_base: int,
+    salt: object,
+    mode: str,
+    max_bytes: Optional[int],
+) -> np.ndarray:
+    """The trial matrix of one batched estimator call: served from the
+    ambient fusion context when one is installed (bit-identical by the
+    context's exactness contract), one-shot otherwise."""
+    context = _active_fusion()
+    if context is not None:
+        codes = context.codes_for(compiled, trials, seed_base, salt, mode)
+        if codes is not None:
+            return codes
+    return construction_matrix(
+        compiled,
+        trials,
+        seed=seed_base,
+        mode=mode,
+        trial_seed=lambda trial: seed_base + trial,
+        salt=salt,
+        max_bytes=max_bytes,
+    )
+
+
 def batched_success_counts(
     constructor: object,
     language: "DistributedLanguage",
@@ -839,6 +878,11 @@ def batched_success_counts(
     the language.
     """
     compiled = compile_construction(constructor, network)
+    context = _active_fusion()
+    if context is not None:
+        members = context.member_vector_for(compiled, language, trials, seed_base, salt, mode)
+        if members is not None:
+            return int(np.count_nonzero(members))
     codes = construction_matrix(
         compiled,
         trials,
@@ -849,6 +893,45 @@ def batched_success_counts(
         max_bytes=max_bytes,
     )
     return int(np.count_nonzero(_member_vector(language, compiled, codes)))
+
+
+def batched_bad_counts(
+    constructor: object,
+    language: "DistributedLanguage",
+    network: "Network",
+    trials: int,
+    seed_base: int,
+    salt: object,
+    mode: str,
+    max_bytes: Optional[int] = None,
+) -> Optional[np.ndarray]:
+    """Per-trial bad-ball counts of ``language`` over freshly constructed
+    configurations — the engine counterpart of a ``fraction_bad`` probe loop
+    (count ``t`` divided by the node count is trial ``t``'s bad fraction).
+
+    Exact mode replays ``TapeFactory(seed_base + trial, salt)`` bit for bit.
+    Returns ``None`` when the language's membership cannot be lowered
+    (callers keep their reference loop).  Inside a fused sweep group the
+    matrix and the counts are served from the shared context."""
+    compiled = compile_construction(constructor, network)
+    context = _active_fusion()
+    if context is not None:
+        counts = context.bad_counts_for(compiled, language, trials, seed_base, salt, mode)
+        if counts is not None:
+            return counts
+    membership = compile_membership(language, compiled, max_bytes)
+    if membership is None:
+        return None
+    codes = construction_matrix(
+        compiled,
+        trials,
+        seed=seed_base,
+        mode=mode,
+        trial_seed=lambda trial: seed_base + trial,
+        salt=salt,
+        max_bytes=max_bytes,
+    )
+    return membership.bad_counts(codes)
 
 
 def _member_vector(
@@ -898,16 +981,15 @@ def batched_acceptance_and_membership(
     fused = compile_fused_decision(decider, compiled)
     if fused is None:
         return None
-    codes = construction_matrix(
-        compiled,
-        trials,
-        seed=seed_base,
-        mode=mode,
-        trial_seed=lambda trial: seed_base + trial,
-        salt=construct_salt,
-        max_bytes=max_bytes,
-    )
-    members = _member_vector(language, compiled, codes)
+    context = _active_fusion()
+    members = None
+    if context is not None:
+        members = context.member_vector_for(
+            compiled, language, trials, seed_base, construct_salt, mode
+        )
+    codes = _shared_codes(compiled, trials, seed_base, construct_salt, mode, max_bytes)
+    if members is None:
+        members = _member_vector(language, compiled, codes)
     if mode == "exact":
         accepted = np.fromiter(
             (
@@ -1141,15 +1223,7 @@ def batched_far_acceptance(
     fused = compile_fused_decision(decider, compiled)
     if fused is None:
         return None
-    codes = construction_matrix(
-        compiled,
-        trials,
-        seed=seed_base,
-        mode=mode,
-        trial_seed=lambda trial: seed_base + trial,
-        salt=construct_salt,
-        max_bytes=max_bytes,
-    )
+    codes = _shared_codes(compiled, trials, seed_base, construct_salt, mode, max_bytes)
     if mode == "exact":
         votes = np.empty((trials, compiled.n_nodes), dtype=bool)
         for trial in range(trials):

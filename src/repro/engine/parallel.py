@@ -43,10 +43,33 @@ from repro.obs import get_recorder
 __all__ = ["ParallelSweepRunner", "point_seed"]
 
 
+def _canonical_value(value: object) -> object:
+    """Canonicalize a point value the way the cache-key layer does: numeric
+    identity over representation (``1`` and ``1.0`` are the same parameter
+    value — the schema normalizes them to one number) and sequence identity
+    over container flavour (``RunRequest`` freezes lists to tuples and thaws
+    them back, so ``(1, 2)`` and ``[1, 2]`` describe the same run).  Without
+    this, equal points could derive *different* seeds depending on which
+    spelling reached :func:`point_seed`."""
+    # bool is an int subclass but a distinct parameter value (and a distinct
+    # canonical JSON encoding), so it passes through untouched.
+    if isinstance(value, float) and not isinstance(value, bool) and value.is_integer():
+        return int(value)
+    if isinstance(value, (list, tuple)):
+        # Lists are the thawed (kwargs-side) spelling, so canonicalizing
+        # tuples onto them keeps list-valued points' derived seeds stable
+        # across this change.
+        return [_canonical_value(item) for item in value]
+    return value
+
+
 def point_seed(master_seed: int, point: Mapping[str, object]) -> int:
     """The deterministic per-point seed: derived from the master seed and the
-    point's sorted ``(name, value)`` pairs, independent of worker scheduling."""
-    components = tuple(sorted((name, repr(value)) for name, value in point.items()))
+    point's sorted ``(name, canonical value)`` pairs, independent of worker
+    scheduling, container flavour, and int/float spelling."""
+    components = tuple(
+        sorted((name, repr(_canonical_value(value))) for name, value in point.items())
+    )
     return derive_seed(master_seed, "sweep-point", components) % (2**31)
 
 

@@ -60,7 +60,11 @@ from repro.core.order_invariant import (
     monochromatic_core,
 )
 from repro.core.relaxations import eps_slack, f_resilient
-from repro.engine.construct import bernoulli_output
+from repro.engine.construct import (
+    batched_bad_counts,
+    bernoulli_output,
+    resolve_construction_engine,
+)
 from repro.graphs.families import cycle_network, path_network
 from repro.graphs.random_graphs import random_regular_network
 from repro.harness.results import ExperimentResult
@@ -335,11 +339,28 @@ def experiment_e2_eps_slack_random_coloring(
         # Mean bad fraction over a handful of runs (linearity of expectation check).
         mean_bad = 0.0
         probe_runs = min(trials, 50)
-        for run in range(probe_runs):
-            configuration = constructor.configuration(
-                network, tape_factory=TapeFactory(seed + run, salt="e2-probe")
+        probe_mode = resolve_construction_engine(engine, constructor)
+        probe_counts = (
+            batched_bad_counts(
+                constructor, base, network, probe_runs,
+                seed_base=seed, salt="e2-probe", mode=probe_mode,
             )
-            mean_bad += base.fraction_bad(configuration) / probe_runs
+            if probe_mode != "off"
+            else None
+        )
+        if probe_counts is not None:
+            # Engine probe: exact mode replays TapeFactory(seed + run,
+            # "e2-probe") bit for bit, and the accumulation below mirrors the
+            # reference loop's order, so the float is identical too.  Inside
+            # a fused sweep the counts come from the shared matrix.
+            for count in probe_counts:
+                mean_bad += (int(count) / n) / probe_runs
+        else:
+            for run in range(probe_runs):
+                configuration = constructor.configuration(
+                    network, tape_factory=TapeFactory(seed + run, salt="e2-probe")
+                )
+                mean_bad += base.fraction_bad(configuration) / probe_runs
         for eps in eps_values:
             relaxed = eps_slack(base, eps)
             estimate = estimate_success_probability(

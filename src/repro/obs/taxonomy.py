@@ -104,6 +104,20 @@ SIGNALS: Tuple[Signal, ...] = (
         "one construction batch: mode, trials, offset, random-node count",
     ),
     Signal(
+        "engine.fuse",
+        "span",
+        "api/session.py",
+        "one fused sweep: experiment id, point/group counts, fused points, "
+        "backend",
+    ),
+    Signal(
+        "engine.fuse_group",
+        "span",
+        "engine/fusion.py",
+        "one fusion group's execution: point count, then hit/miss and "
+        "retained-byte tallies on close",
+    ),
+    Signal(
         "engine.stream_sample",
         "span",
         "engine/executor.py",
@@ -160,6 +174,18 @@ SIGNALS: Tuple[Signal, ...] = (
         "counter",
         "engine/executor.py",
         "trial/column blocks executed (executor and construction streams)",
+    ),
+    Signal(
+        "engine.fuse_hits",
+        "counter",
+        "engine/fusion.py",
+        "matrix/count requests served from the fusion memo",
+    ),
+    Signal(
+        "engine.fuse_misses",
+        "counter",
+        "engine/fusion.py",
+        "matrix/count requests that had to sample or count fresh trials",
     ),
     Signal("cache.hit", "counter", "engine/cache.py", "lookups served from disk"),
     Signal("cache.miss", "counter", "engine/cache.py", "lookups that found nothing"),

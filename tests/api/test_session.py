@@ -212,6 +212,72 @@ class TestSweep:
         assert first.table.column("from_cache") == [False, False]
         assert second.table.column("from_cache") == [True, True]
 
+    def test_sweep_grid_key_colliding_with_fixed_raises(self, registry):
+        session = Session(cache=None, registry=registry)
+        with pytest.raises(ValueError, match="colliding"):
+            session.sweep("STUB", {"n": [1, 2]}, n=3)
+
+    def test_sweep_records_verdict_and_ci_columns(self, registry):
+        sweep = Session(cache=None, registry=registry).sweep("STUB", {"n": [1]})
+        row = sweep.table.rows[0]
+        assert row["verdict"] == "pass"
+        for column in ("trials_used", "ci_low", "ci_high"):
+            assert column in row
+
+    def test_unresolved_point_is_distinguishable_from_a_failed_one(self):
+        # An UNRESOLVED point (CI straddles the acceptance threshold: more
+        # trials needed) must not be conflated with a failed one in the sweep
+        # table — matches_paper is None for both unresolved and unset.
+        def verdict_runner(n=1, seed=0):
+            result = ExperimentResult(
+                experiment_id="VERDICT",
+                title="verdict stub",
+                paper_claim="none",
+                parameters={"n": n, "seed": seed},
+            )
+            result.add_row(value=n)
+            if n == 1:
+                result.matches_paper = None
+                result.unresolved = True
+                result.ci_low, result.ci_high, result.trials_used = 0.4, 0.6, 128
+            elif n == 2:
+                result.matches_paper = False
+            else:
+                result.matches_paper = True
+            return result
+
+        spec = ExperimentSpec(
+            id="VERDICT",
+            title="verdict stub",
+            runner=verdict_runner,
+            parameters=(
+                ParameterSpec("n", "int", 1),
+                ParameterSpec("seed", "int", 0),
+            ),
+        )
+        session = Session(cache=None, registry=ExperimentRegistry([spec]))
+        sweep = session.sweep("VERDICT", {"n": [1, 2, 3]})
+        assert sweep.table.column("verdict") == ["unresolved", "fail", "pass"]
+        assert sweep.table.column("matches_paper") == [None, False, True]
+        unresolved_row = sweep.table.rows[0]
+        assert unresolved_row["trials_used"] == 128
+        assert unresolved_row["ci_low"] == 0.4 and unresolved_row["ci_high"] == 0.6
+
+    def test_backend_under_yield_raises_not_truncates(self, registry):
+        from repro.api.backends import ExecutionBackend
+
+        class UnderYieldingBackend(ExecutionBackend):
+            name = "under-yield"
+
+            def execute(self, payloads, registry=None):
+                return iter(())  # yields nothing, whatever was requested
+
+        session = Session(
+            cache=None, registry=registry, backend=UnderYieldingBackend()
+        )
+        with pytest.raises(RuntimeError, match="yielded fewer results"):
+            session.sweep("STUB", {"n": [1, 2]})
+
     def test_sweep_on_a_real_experiment_through_the_pool(self):
         session = Session(
             seed=3, cache=None, backend=ProcessPoolBackend(max_workers=2)

@@ -52,6 +52,20 @@ class TestDeterministicSeeding:
     def test_point_seed_ignores_key_order(self):
         assert point_seed(1, {"a": 1, "b": 2}) == point_seed(1, {"b": 2, "a": 1})
 
+    def test_point_seed_canonicalizes_value_spellings(self):
+        # The cache-key layer treats 1 and 1.0 as the same parameter value
+        # and thaws tuples to lists; the derived seed must agree, or equal
+        # points would run with different randomness depending on spelling.
+        assert point_seed(7, {"f": 1}) == point_seed(7, {"f": 1.0})
+        assert point_seed(7, {"xs": (1, 2)}) == point_seed(7, {"xs": [1, 2]})
+        assert point_seed(7, {"xs": (1, (2.0, 3))}) == point_seed(7, {"xs": [1, [2, 3]]})
+
+    def test_point_seed_canonicalization_keeps_distinct_values_distinct(self):
+        assert point_seed(7, {"f": 1}) != point_seed(7, {"f": 2})
+        assert point_seed(7, {"f": 1.5}) != point_seed(7, {"f": 1})
+        # bool is a distinct parameter value, not the integer it subclasses.
+        assert point_seed(7, {"f": True}) != point_seed(7, {"f": 1})
+
     def test_seed_injected_when_experiment_accepts_it(self):
         runner = ParallelSweepRunner(max_workers=0, seed=7)
         result = runner.run(measure_with_seed, {"n": [1, 2]})
